@@ -1,0 +1,192 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation.
+// Each benchmark both measures the cost of the experiment and, on the first
+// iteration, prints the regenerated rows so `go test -bench=.` reproduces
+// the evaluation section end to end:
+//
+//	BenchmarkTable1          — slide 24, data-race-test accuracy, 4 tools
+//	BenchmarkTable2          — slide 25, spin-window sweep
+//	BenchmarkTable4/5/6      — slides 27-30, PARSEC racy contexts
+//	BenchmarkFigureMemory    — slide 31, shadow-memory overhead
+//	BenchmarkFigureRuntime   — slide 32, runtime overhead (wall clock)
+//	BenchmarkDetector*       — per-tool event-processing throughput
+package main
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/harness"
+	"adhocrace/internal/workloads/parsec"
+)
+
+var printOnce sync.Map
+
+func once(b *testing.B, key, text string) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		b.Log("\n" + text)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AccuracyTable(harness.Table1Configs(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "t1", harness.FormatAccuracy("Table 1 (slide 24)", rows))
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.AccuracyTable(harness.Table2Configs(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "t2", harness.FormatAccuracy("Table 2 (slide 25)", rows))
+	}
+}
+
+func benchParsecTable(b *testing.B, key, title string,
+	table func() (map[string]map[string]float64, []string, error), programs []parsec.Model) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cells, tools, err := table()
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := make([]string, len(programs))
+		for j, m := range programs {
+			names[j] = m.Name
+		}
+		once(b, key, harness.FormatContexts(title, names, tools, cells))
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	benchParsecTable(b, "t4", "Table 4 (slide 27)", harness.Table4, parsec.WithoutAdhoc())
+}
+
+func BenchmarkTable5(b *testing.B) {
+	benchParsecTable(b, "t5", "Table 5 (slides 28/29)", harness.Table5, parsec.WithAdhoc())
+}
+
+func BenchmarkTable6(b *testing.B) {
+	benchParsecTable(b, "t6", "Table 6 (slide 30)", harness.Table6, parsec.Models())
+}
+
+// BenchmarkFigureMemory regenerates the slide-31 memory figure: shadow
+// bytes with and without the spin feature.
+func BenchmarkFigureMemory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.OverheadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		once(b, "mem", harness.FormatOverhead(rows))
+	}
+}
+
+// BenchmarkFigureRuntime regenerates the slide-32 runtime figure as real
+// wall-clock sub-benchmarks: every PARSEC model under Helgrind+ lib and
+// Helgrind+ lib+spin(7). Compare ns/op between the /lib and /spin variants
+// of the same program to read off the feature's runtime overhead.
+func BenchmarkFigureRuntime(b *testing.B) {
+	for _, m := range parsec.Models() {
+		m := m
+		prog := m.Build()
+		b.Run(m.Name+"/lib", func(b *testing.B) {
+			cfg := detect.HelgrindPlusLib()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := detect.Run(prog, cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(m.Name+"/spin", func(b *testing.B) {
+			cfg := detect.HelgrindPlusLibSpin(7)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := detect.Run(prog, cfg, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorThroughput measures raw event-processing speed per tool
+// on a mid-size workload (ferret).
+func BenchmarkDetectorThroughput(b *testing.B) {
+	m, ok := parsec.ByName("ferret")
+	if !ok {
+		b.Fatal("no ferret model")
+	}
+	prog := m.Build()
+	for _, cfg := range detect.PaperTools(7) {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				rep, _, err := detect.Run(prog, cfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = rep.Events
+			}
+			b.ReportMetric(float64(events), "events/run")
+		})
+	}
+}
+
+// BenchmarkAblationSpinFeature quantifies the design choices DESIGN.md
+// calls out, as detector-accuracy ablations on the accuracy suite:
+// spin window (3 vs 7), library knowledge (lib vs nolib), and the
+// future-work lock-operation identification.
+func BenchmarkAblationSpinFeature(b *testing.B) {
+	variants := []detect.Config{
+		detect.HelgrindPlusLib(),
+		detect.HelgrindPlusLibSpin(3),
+		detect.HelgrindPlusLibSpin(7),
+		detect.HelgrindPlusNolibSpin(7),
+		detect.HelgrindPlusNolibSpinLocks(7),
+	}
+	for _, cfg := range variants {
+		cfg := cfg
+		b.Run(cfg.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				row, err := harness.Accuracy(cfg, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(row.Failed), "failed-cases")
+			}
+		})
+	}
+}
+
+// BenchmarkInstrumentationPhase measures the static analysis alone (CFG,
+// loops, classification) across window sizes.
+func BenchmarkInstrumentationPhase(b *testing.B) {
+	m, ok := parsec.ByName("bodytrack")
+	if !ok {
+		b.Fatal("no bodytrack model")
+	}
+	prog := m.Build()
+	for _, window := range []int{3, 7, 8} {
+		window := window
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			cfg := detect.HelgrindPlusLibSpin(window)
+			for i := 0; i < b.N; i++ {
+				ins := cfg.Instrument(prog)
+				if ins.NumLoops() == 0 {
+					b.Fatal("no loops classified")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+// Command racedetect runs one workload under one detector configuration
+// and prints the race report — the CLI equivalent of running Helgrind+ on
+// a binary.
+//
+// Usage:
+//
+//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-v]
+//
+// Workloads: any PARSEC model name (x264, dedup, ...) or a data-race-test
+// case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...). Use
+// -list to enumerate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/workloads/dataracetest"
+	"adhocrace/internal/workloads/parsec"
+)
+
+func main() {
+	workload := flag.String("w", "", "workload name (see -list)")
+	tool := flag.String("tool", "spin", "tool: lib, spin, nolib, nolib+locks, drd, eraser")
+	window := flag.Int("window", 7, "spin-loop basic-block window")
+	seed := flag.Int64("seed", 1, "scheduler seed")
+	verbose := flag.Bool("v", false, "print every warning, not just the summary")
+	list := flag.Bool("list", false, "list available workloads")
+	flag.Parse()
+
+	if *list {
+		listWorkloads()
+		return
+	}
+	build, ok := findWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "racedetect: unknown workload %q (try -list)\n", *workload)
+		os.Exit(2)
+	}
+
+	var cfg detect.Config
+	switch *tool {
+	case "lib":
+		cfg = detect.HelgrindPlusLib()
+	case "spin":
+		cfg = detect.HelgrindPlusLibSpin(*window)
+	case "nolib":
+		cfg = detect.HelgrindPlusNolibSpin(*window)
+	case "nolib+locks":
+		cfg = detect.HelgrindPlusNolibSpinLocks(*window)
+	case "drd":
+		cfg = detect.DRD()
+	case "eraser":
+		cfg = detect.Eraser()
+	default:
+		fmt.Fprintf(os.Stderr, "racedetect: unknown tool %q\n", *tool)
+		os.Exit(2)
+	}
+
+	rep, res, err := detect.Run(build(), cfg, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s under %s (seed %d)\n", *workload, cfg.Name, *seed)
+	fmt.Printf("  steps=%d threads=%d events=%d\n", res.Steps, res.Threads, rep.Events)
+	fmt.Printf("  spin loops classified: %d, happens-before edges injected: %d\n",
+		rep.SpinLoops, rep.SpinEdges)
+	fmt.Printf("  warnings: %d, racy contexts: %d\n", len(rep.Warnings), rep.RacyContexts())
+	if *verbose {
+		for _, w := range rep.Warnings {
+			fmt.Printf("    %s\n", w)
+		}
+	} else {
+		for i, loc := range rep.ContextList() {
+			if i >= 20 {
+				fmt.Printf("    ... (%d more contexts)\n", rep.RacyContexts()-20)
+				break
+			}
+			fmt.Printf("    racy context at %s\n", loc)
+		}
+	}
+}
+
+func findWorkload(name string) (func() *ir.Program, bool) {
+	if m, ok := parsec.ByName(name); ok {
+		return m.Build, true
+	}
+	for _, c := range dataracetest.Suite() {
+		if c.Name == name {
+			return c.Build, true
+		}
+	}
+	return nil, false
+}
+
+func listWorkloads() {
+	fmt.Println("PARSEC models:")
+	for _, m := range parsec.Models() {
+		fmt.Printf("  %-16s (%s, %d LOC)\n", m.Name, m.ParallelModel, m.LOC)
+	}
+	fmt.Println("data-race-test cases:")
+	var names []string
+	for _, c := range dataracetest.Suite() {
+		names = append(names, fmt.Sprintf("  %-40s %s", c.Name, c.Category))
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Println(n)
+	}
+}

@@ -1,0 +1,96 @@
+// Command tables regenerates every table and figure of the paper's
+// evaluation (IPDPS'10, slides 24-32).
+//
+// Usage:
+//
+//	tables [-t all|1|2|3|4|5|6|perf]
+//
+//	1    data-race-test accuracy, four tools (slide 24)
+//	2    spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
+//	3    PARSEC program inventory (slide 26)
+//	4    racy contexts, programs without ad-hoc sync (slide 27)
+//	5    racy contexts, programs with ad-hoc sync (slides 28/29)
+//	6    universal detector, all 13 programs (slide 30)
+//	perf memory and runtime overhead figures (slides 31/32)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocrace/internal/harness"
+)
+
+func main() {
+	which := flag.String("t", "all", "table to regenerate: all,1,2,3,4,5,6,perf")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		if *which != "all" && *which != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("1", func() error {
+		rows, err := harness.AccuracyTable(harness.Table1Configs(), 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatAccuracy("Table 1 — data-race-test suite, 120 cases (slide 24)", rows))
+		return nil
+	})
+	run("2", func() error {
+		rows, err := harness.AccuracyTable(harness.Table2Configs(), 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatAccuracy("Table 2 — spin-window sensitivity (slide 25)", rows))
+		return nil
+	})
+	run("3", func() error {
+		fmt.Println(harness.FormatTable3())
+		return nil
+	})
+	run("4", func() error {
+		return printParsec("Table 4 — programs without ad-hoc synchronizations (slide 27)", harness.Table4)
+	})
+	run("5", func() error {
+		return printParsec("Table 5 — programs with ad-hoc synchronizations (slides 28/29)", harness.Table5)
+	})
+	run("6", func() error { return printParsec("Table 6 — universal race detector (slide 30)", harness.Table6) })
+	run("perf", func() error {
+		rows, err := harness.OverheadAll()
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatOverhead(rows))
+		return nil
+	})
+}
+
+func printParsec(title string, table func() (map[string]map[string]float64, []string, error)) error {
+	cells, tools, err := table()
+	if err != nil {
+		return err
+	}
+	var programs []string
+	for prog := range cells {
+		programs = append(programs, prog)
+	}
+	// Preserve the paper's program order.
+	order := []string{"blackscholes", "swaptions", "fluidanimate", "canneal", "freqmine",
+		"vips", "bodytrack", "facesim", "ferret", "x264", "dedup", "streamcluster", "raytrace"}
+	ordered := programs[:0]
+	for _, p := range order {
+		if _, ok := cells[p]; ok {
+			ordered = append(ordered, p)
+		}
+	}
+	fmt.Println(harness.FormatContexts(title, ordered, tools, cells))
+	return nil
+}

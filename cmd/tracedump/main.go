@@ -1,0 +1,68 @@
+// Command tracedump inspects a workload the way the instrumentation phase
+// sees it: the IR disassembly, the control-flow structure, and the spinning
+// read loops classified at a given window.
+//
+// Usage:
+//
+//	tracedump -w <workload> [-window 7] [-asm]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocrace/internal/cfg"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/spin"
+	"adhocrace/internal/workloads/dataracetest"
+	"adhocrace/internal/workloads/parsec"
+)
+
+func main() {
+	workload := flag.String("w", "", "workload name")
+	window := flag.Int("window", 7, "spin-loop basic-block window")
+	asm := flag.Bool("asm", false, "dump full disassembly")
+	flag.Parse()
+
+	build, ok := findWorkload(*workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "tracedump: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	p := build()
+	if *asm {
+		fmt.Print(p.Disassemble())
+	}
+
+	fmt.Printf("program %s: %d functions, %d globals\n", p.Name, len(p.Funcs), len(p.Globals))
+	totalLoops := 0
+	for _, fn := range p.Funcs {
+		g := cfg.New(fn)
+		loops := g.NaturalLoops()
+		totalLoops += len(loops)
+		for _, l := range loops {
+			fmt.Printf("  %s: %s\n", fn.Name, l)
+		}
+	}
+	fmt.Printf("natural loops: %d\n", totalLoops)
+
+	ins := spin.Analyze(p, *window)
+	fmt.Printf("spinning read loops at window %d: %d\n", *window, ins.NumLoops())
+	for _, l := range ins.Loops {
+		fmt.Printf("  %s in %s\n", l, p.Funcs[l.Func].Name)
+	}
+	fmt.Printf("condition symbols: %v\n", ins.CondSyms())
+}
+
+func findWorkload(name string) (func() *ir.Program, bool) {
+	if m, ok := parsec.ByName(name); ok {
+		return m.Build, true
+	}
+	for _, c := range dataracetest.Suite() {
+		if c.Name == name {
+			return c.Build, true
+		}
+	}
+	return nil, false
+}

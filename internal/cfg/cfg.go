@@ -1,0 +1,257 @@
+// Package cfg performs control-flow analysis on ir functions: predecessor/
+// successor graphs, dominator trees, and natural-loop detection.
+//
+// This is the repository's stand-in for the control-flow analysis Helgrind+
+// runs over Valgrind superblocks during its instrumentation phase ("search
+// the binary code to find all loops ... control flow analysis on the fly").
+// Package spin consumes the loops found here.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adhocrace/internal/ir"
+)
+
+// Graph is the control-flow graph of one function.
+type Graph struct {
+	Fn    *ir.Func
+	Succs [][]int // successor block indices
+	Preds [][]int // predecessor block indices
+
+	rpo    []int // reverse postorder of reachable blocks
+	rpoNum []int // block index -> position in rpo, -1 if unreachable
+	idom   []int // immediate dominator per block, -1 for entry/unreachable
+}
+
+// New builds the CFG for a function and computes its dominator tree.
+func New(fn *ir.Func) *Graph {
+	n := len(fn.Blocks)
+	g := &Graph{
+		Fn:    fn,
+		Succs: make([][]int, n),
+		Preds: make([][]int, n),
+	}
+	for i, b := range fn.Blocks {
+		g.Succs[i] = b.Succs()
+		for _, s := range g.Succs[i] {
+			g.Preds[s] = append(g.Preds[s], i)
+		}
+	}
+	g.computeRPO()
+	g.computeDominators()
+	return g
+}
+
+func (g *Graph) computeRPO() {
+	n := len(g.Succs)
+	seen := make([]bool, n)
+	post := make([]int, 0, n)
+	// Iterative DFS to avoid deep recursion on long block chains.
+	type frame struct {
+		block int
+		next  int
+	}
+	stack := []frame{{0, 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Succs[f.block]) {
+			s := g.Succs[f.block][f.next]
+			f.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.block)
+		stack = stack[:len(stack)-1]
+	}
+	g.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.rpo = append(g.rpo, post[i])
+	}
+	g.rpoNum = make([]int, n)
+	for i := range g.rpoNum {
+		g.rpoNum[i] = -1
+	}
+	for i, b := range g.rpo {
+		g.rpoNum[b] = i
+	}
+}
+
+// computeDominators implements the Cooper–Harvey–Kennedy iterative
+// algorithm over reverse postorder.
+func (g *Graph) computeDominators() {
+	n := len(g.Succs)
+	g.idom = make([]int, n)
+	for i := range g.idom {
+		g.idom[i] = -1
+	}
+	if n == 0 {
+		return
+	}
+	g.idom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[b] {
+				if g.rpoNum[p] < 0 || g.idom[p] == -1 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = g.intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && g.idom[b] != newIdom {
+				g.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	g.idom[0] = -1 // the entry has no immediate dominator
+}
+
+func (g *Graph) intersect(a, b int) int {
+	for a != b {
+		for g.rpoNum[a] > g.rpoNum[b] {
+			a = g.idom[a]
+		}
+		for g.rpoNum[b] > g.rpoNum[a] {
+			b = g.idom[b]
+		}
+	}
+	return a
+}
+
+// Reachable reports whether block b is reachable from the entry.
+func (g *Graph) Reachable(b int) bool { return g.rpoNum[b] >= 0 }
+
+// RPO returns the reverse postorder of reachable blocks.
+func (g *Graph) RPO() []int { return g.rpo }
+
+// Idom returns the immediate dominator of block b, or -1 for the entry and
+// unreachable blocks.
+func (g *Graph) Idom(b int) int { return g.idom[b] }
+
+// Dominates reports whether block a dominates block b. Every block
+// dominates itself.
+func (g *Graph) Dominates(a, b int) bool {
+	if !g.Reachable(a) || !g.Reachable(b) {
+		return false
+	}
+	for b != -1 {
+		if a == b {
+			return true
+		}
+		b = g.idom[b]
+	}
+	return false
+}
+
+// Loop is a natural loop: a header plus the set of blocks that can reach a
+// back edge into the header without leaving the header's dominance region.
+// Back edges with the same header are merged into one loop, following the
+// usual natural-loop construction.
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+	// BackEdges lists the source blocks of the loop's back edges.
+	BackEdges []int
+	// Exits lists (fromBlock, toBlock) pairs leaving the loop.
+	Exits [][2]int
+}
+
+// NumBlocks returns the number of basic blocks in the loop — the quantity
+// the paper's 3–7 window is measured in.
+func (l *Loop) NumBlocks() int { return len(l.Blocks) }
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool { return l.Blocks[b] }
+
+// String renders the loop compactly for diagnostics.
+func (l *Loop) String() string {
+	blocks := make([]int, 0, len(l.Blocks))
+	for b := range l.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	parts := make([]string, len(blocks))
+	for i, b := range blocks {
+		parts[i] = fmt.Sprintf("b%d", b)
+	}
+	return fmt.Sprintf("loop(header=b%d, blocks=[%s])", l.Header, strings.Join(parts, " "))
+}
+
+// NaturalLoops finds all natural loops of the function. Loops sharing a
+// header are merged. The result is sorted by header block index.
+func (g *Graph) NaturalLoops() []*Loop {
+	byHeader := make(map[int]*Loop)
+	for _, b := range g.rpo {
+		for _, s := range g.Succs[b] {
+			if g.Dominates(s, b) { // back edge b -> s
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+					byHeader[s] = l
+				}
+				l.BackEdges = append(l.BackEdges, b)
+				g.fillLoop(l, b)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		g.fillExits(l)
+		loops = append(loops, l)
+	}
+	sort.Slice(loops, func(i, j int) bool { return loops[i].Header < loops[j].Header })
+	return loops
+}
+
+// fillLoop adds to l all blocks that reach the back-edge source without
+// passing through the header (standard worklist construction).
+func (g *Graph) fillLoop(l *Loop, tail int) {
+	if l.Blocks[tail] {
+		return
+	}
+	l.Blocks[tail] = true
+	work := []int{tail}
+	for len(work) > 0 {
+		b := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, p := range g.Preds[b] {
+			if !g.Reachable(p) || l.Blocks[p] {
+				continue
+			}
+			l.Blocks[p] = true
+			work = append(work, p)
+		}
+	}
+}
+
+func (g *Graph) fillExits(l *Loop) {
+	for b := range l.Blocks {
+		for _, s := range g.Succs[b] {
+			if !l.Blocks[s] {
+				l.Exits = append(l.Exits, [2]int{b, s})
+			}
+		}
+	}
+	sort.Slice(l.Exits, func(i, j int) bool {
+		if l.Exits[i][0] != l.Exits[j][0] {
+			return l.Exits[i][0] < l.Exits[j][0]
+		}
+		return l.Exits[i][1] < l.Exits[j][1]
+	})
+}

@@ -1,0 +1,233 @@
+// Package core implements the paper's primary contribution: the runtime
+// phase of ad-hoc synchronization detection.
+//
+// The instrumentation phase (package spin) marks spinning read loops, their
+// condition loads, and their exit branches. At run time this engine:
+//
+//   - tracks the release history of every location that can serve as a spin
+//     condition (statically: the condition symbols of classified loops;
+//     dynamically: every address observed by a spin-read mark) — each write
+//     to such a location snapshots the writer's vector clock;
+//   - on a spin-exit mark, establishes a happens-before edge from the
+//     counterpart write to the spinning thread — the write/read dependency
+//     between the loop condition and the write that satisfied it;
+//   - classifies those condition locations as synchronization variables so
+//     detectors can suppress "synchronization races" on them (the flag
+//     itself), while the injected edge removes the "apparent races" on the
+//     data the flag protects.
+//
+// Read-modify-write atomics extend the release history instead of replacing
+// it (a release sequence): the CAS chain of a lock word or the fetch-add
+// chain of a barrier counter accumulates every participant's clock, which is
+// what makes library primitives of unknown libraries — ultimately spinning
+// read loops themselves — synchronize correctly under the universal
+// detector.
+package core
+
+import (
+	"adhocrace/internal/event"
+	"adhocrace/internal/hb"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/spin"
+	"adhocrace/internal/vc"
+)
+
+// Engine is the runtime ad-hoc synchronization detector for one execution.
+type Engine struct {
+	hb  *hb.Engine
+	ins *spin.Instrumentation
+
+	// InferLocks enables the paper's future-work extension: condition
+	// words of read-modify-write spin loops (CAS-acquire loops) are
+	// classified as lock words, and every successful RMW on them — even a
+	// fast-path acquire outside any loop — imports the word's release
+	// history. Without this, a two-phase lock acquired on its fast path
+	// produces no spin-exit and the universal detector misses the edge.
+	InferLocks bool
+
+	// condSyms holds the static condition symbols of all classified loops.
+	condSyms map[string]bool
+	// syncAddrs holds addresses confirmed as spin conditions at run time.
+	syncAddrs map[int64]bool
+	// lockWords holds addresses classified as lock words (conditions of
+	// RMW spin loops), statically and dynamically.
+	lockWords map[int64]bool
+	// lockSyms holds the static condition symbols of RMW loops.
+	lockSyms map[string]bool
+	// release holds the accumulated release clock per condition location.
+	release map[int64]*vc.Clock
+	// lastRead tracks, per thread and loop, the last condition address the
+	// thread observed, so the exit edge knows its counterpart location.
+	lastRead map[event.Tid]map[int]int64
+
+	// Edges counts injected happens-before edges (diagnostics/figures).
+	Edges int64
+	// SpinReads counts observed spin-read marks.
+	SpinReads int64
+	// SpinExits counts observed spin-exit marks.
+	SpinExits int64
+}
+
+// New returns an engine feeding edges into the given happens-before engine,
+// configured by the given instrumentation (nil disables everything, the
+// "lib" tool configurations). The program provides the static symbol table:
+// condition symbols of classified loops are resolved to their global
+// addresses up front, so sync-variable suppression and release tracking are
+// in force from the very first access — even when the first contention
+// precedes the first spin-read mark (fast-path arrivals at barriers, once
+// guards, trylocks).
+func New(h *hb.Engine, ins *spin.Instrumentation, prog *ir.Program) *Engine {
+	e := &Engine{
+		hb:        h,
+		ins:       ins,
+		condSyms:  make(map[string]bool),
+		syncAddrs: make(map[int64]bool),
+		lockWords: make(map[int64]bool),
+		lockSyms:  make(map[string]bool),
+		release:   make(map[int64]*vc.Clock),
+		lastRead:  make(map[event.Tid]map[int]int64),
+	}
+	if ins != nil {
+		for _, s := range ins.CondSyms() {
+			e.condSyms[s] = true
+		}
+		for _, l := range ins.Loops {
+			if !l.HasRMW {
+				continue
+			}
+			for _, s := range l.CondSyms {
+				e.lockSyms[s] = true
+			}
+		}
+		if prog != nil {
+			for _, g := range prog.Globals {
+				if !e.condSyms[g.Name] {
+					continue
+				}
+				for i := 0; i < g.Words; i++ {
+					e.syncAddrs[g.Addr+int64(i)*8] = true
+					if e.lockSyms[g.Name] {
+						e.lockWords[g.Addr+int64(i)*8] = true
+					}
+				}
+			}
+		}
+	}
+	return e
+}
+
+// IsLockWord reports whether the address has been classified as a lock
+// word (the condition of a CAS-acquire spin loop).
+func (e *Engine) IsLockWord(addr int64) bool { return e.lockWords[addr] }
+
+// InferredLockWords returns the number of classified lock words.
+func (e *Engine) InferredLockWords() int { return len(e.lockWords) }
+
+// Enabled reports whether spin detection is active.
+func (e *Engine) Enabled() bool { return e.ins != nil && e.ins.NumLoops() >= 0 && e.ins.Window > 0 }
+
+// IsSyncVar reports whether an access to addr (with static symbol sym, if
+// any) belongs to a spin-loop condition — a synchronization variable whose
+// races are synchronization races, not data races.
+func (e *Engine) IsSyncVar(addr int64, sym string) bool {
+	if !e.Enabled() {
+		return false
+	}
+	if e.syncAddrs[addr] {
+		return true
+	}
+	return sym != "" && e.condSyms[sym]
+}
+
+// OnWrite records a write's release snapshot when the target can serve as a
+// spin condition: statically (its symbol is a condition symbol of some
+// classified loop), dynamically (a spin-read mark has observed the address),
+// or — conservatively — when the write is atomic, because atomics are how
+// library primitives publish their state and the counterpart write may
+// precede the first spin read of a fast-path waiter. Must be called for
+// every write event, in stream order.
+func (e *Engine) OnWrite(ev *event.Event) {
+	if !e.Enabled() {
+		return
+	}
+	atomic := ev.Kind == event.KindAtomicWrite
+	if !atomic && !e.syncAddrs[ev.Addr] && !(ev.Sym != "" && e.condSyms[ev.Sym]) {
+		return
+	}
+	cur := e.release[ev.Addr]
+	if e.InferLocks && ev.RMW && cur != nil &&
+		(e.lockWords[ev.Addr] || (ev.Sym != "" && e.lockSyms[ev.Sym])) {
+		// Lock-operation identification (the paper's future work): a
+		// successful RMW on a lock word is an acquire even when it
+		// happened on a fast path outside the spin loop — import the
+		// word's release history into the acquiring thread.
+		e.hb.ClockOf(ev.Tid).Join(cur)
+		e.Edges++
+	}
+	snap := e.hb.Snapshot(ev.Tid)
+	if ev.RMW && cur != nil {
+		// Release sequence: the RMW extends the history.
+		snap.Join(cur)
+	}
+	e.release[ev.Addr] = snap
+	// A write is also a release point for the writer.
+	e.hb.ClockOf(ev.Tid).Tick(int(ev.Tid))
+}
+
+// OnSpinRead records a condition observation by a spinning thread.
+func (e *Engine) OnSpinRead(ev *event.Event) {
+	if !e.Enabled() {
+		return
+	}
+	e.SpinReads++
+	e.syncAddrs[ev.Addr] = true
+	if ev.SpinLoop >= 0 && ev.SpinLoop < len(e.ins.Loops) && e.ins.Loops[ev.SpinLoop].HasRMW {
+		e.lockWords[ev.Addr] = true
+	}
+	m := e.lastRead[ev.Tid]
+	if m == nil {
+		m = make(map[int]int64)
+		e.lastRead[ev.Tid] = m
+	}
+	m[ev.SpinLoop] = ev.Addr
+}
+
+// OnSpinExit injects the happens-before edge from the counterpart write to
+// the exiting thread.
+func (e *Engine) OnSpinExit(ev *event.Event) {
+	if !e.Enabled() {
+		return
+	}
+	e.SpinExits++
+	m := e.lastRead[ev.Tid]
+	if m == nil {
+		return
+	}
+	addr, ok := m[ev.SpinLoop]
+	if !ok {
+		return
+	}
+	if rel := e.release[addr]; rel != nil {
+		e.hb.ClockOf(ev.Tid).Join(rel)
+		e.Edges++
+	}
+}
+
+// Bytes approximates the engine's shadow footprint for the memory figure.
+func (e *Engine) Bytes() int64 {
+	var n int64
+	for s := range e.condSyms {
+		n += int64(len(s)) + 16
+	}
+	n += int64(len(e.syncAddrs)) * 16
+	for _, c := range e.release {
+		n += c.Bytes() + 16
+	}
+	for _, m := range e.lastRead {
+		n += int64(len(m))*24 + 16
+	}
+	if e.ins != nil {
+		n += e.ins.MarkBytes()
+	}
+	return n
+}

@@ -1,0 +1,435 @@
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocrace/internal/core"
+	"adhocrace/internal/event"
+	"adhocrace/internal/hb"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/lockset"
+	"adhocrace/internal/spin"
+	"adhocrace/internal/vc"
+)
+
+// WarningKind classifies a warning.
+type WarningKind uint8
+
+// Warning kinds.
+const (
+	// WarnHBRace: two conflicting accesses unordered by happens-before.
+	WarnHBRace WarningKind = iota
+	// WarnLockset: variable reached shared-modified with an empty
+	// candidate lockset (Eraser tool only).
+	WarnLockset
+)
+
+var warnNames = [...]string{"hb-race", "lockset"}
+
+// String names the warning kind.
+func (k WarningKind) String() string {
+	if int(k) < len(warnNames) {
+		return warnNames[k]
+	}
+	return "warn(?)"
+}
+
+// Warning is one race report.
+type Warning struct {
+	Kind WarningKind
+	// Loc is the racy context: the source location of the access that
+	// triggered the report.
+	Loc ir.Loc
+	// Addr/Sym identify the variable.
+	Addr int64
+	Sym  string
+	// Tid is the accessing thread; Other the thread of the prior
+	// conflicting access.
+	Tid, Other event.Tid
+	// Write reports whether the triggering access was a write.
+	Write bool
+	// EventIdx is the position in the event stream.
+	EventIdx int64
+}
+
+// String renders the warning.
+func (w Warning) String() string {
+	what := "read"
+	if w.Write {
+		what = "write"
+	}
+	sym := w.Sym
+	if sym == "" {
+		sym = fmt.Sprintf("0x%x", w.Addr)
+	}
+	return fmt.Sprintf("%s: %s of %s at %s by T%d (conflicts with T%d)",
+		w.Kind, what, sym, w.Loc, w.Tid, w.Other)
+}
+
+// Report is the outcome of running a detector over one execution.
+type Report struct {
+	Config   Config
+	Warnings []Warning
+	// Events is the number of events processed.
+	Events int64
+	// SpinEdges is the number of happens-before edges injected by the
+	// ad-hoc synchronization engine.
+	SpinEdges int64
+	// SpinLoops is the number of loops the instrumentation classified.
+	SpinLoops int
+	// InferredLockWords is the number of lock words identified (only with
+	// the InferLocks extension).
+	InferredLockWords int
+	// ShadowBytes approximates detector shadow-memory consumption.
+	ShadowBytes int64
+}
+
+// RacyContexts returns the number of distinct racy contexts (source
+// locations with at least one warning), the paper's evaluation metric.
+func (r *Report) RacyContexts() int {
+	seen := make(map[ir.Loc]bool)
+	for _, w := range r.Warnings {
+		seen[w.Loc] = true
+	}
+	return len(seen)
+}
+
+// ContextList returns the distinct racy contexts, sorted.
+func (r *Report) ContextList() []ir.Loc {
+	seen := make(map[ir.Loc]bool)
+	for _, w := range r.Warnings {
+		seen[w.Loc] = true
+	}
+	out := make([]ir.Loc, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// HasWarnings reports whether any race was reported.
+func (r *Report) HasWarnings() bool { return len(r.Warnings) > 0 }
+
+// shadowWord is the per-address detector state.
+type shadowWord struct {
+	// Last write epoch: thread, that thread's clock component, stream
+	// position, location, atomicity.
+	wTid    event.Tid
+	wTick   uint64
+	wEvent  int64
+	wLoc    ir.Loc
+	wSeen   bool
+	wAtomic bool
+
+	// Last read per thread: clock component and stream position. Plain
+	// and atomic reads are tracked separately because two atomic accesses
+	// never constitute a data race.
+	reads       *vc.Clock
+	readsAtomic *vc.Clock
+	readEvents  map[event.Tid]int64
+
+	// atomicEver marks addresses ever accessed atomically (the Helgrind+
+	// lib sync-variable heuristic).
+	atomicEver bool
+	// suspected supports the long-run MSM: first racy observation arms
+	// it, the second reports.
+	suspected bool
+	// reported supports per-address deduplication.
+	reported bool
+}
+
+// Detector consumes one execution's event stream.
+type Detector struct {
+	cfg Config
+
+	hb    *hb.Engine
+	adhoc *core.Engine
+	locks *lockset.Tracker
+
+	shadow map[int64]*shadowWord
+	// reportedSite supports per-(addr,loc) deduplication (DRD).
+	reportedSite map[siteKey]bool
+
+	warnings []Warning
+	events   int64
+	ins      *spin.Instrumentation
+}
+
+type siteKey struct {
+	addr int64
+	loc  ir.Loc
+}
+
+// New builds a detector for one run. The instrumentation must be the one
+// produced by cfg.Instrument on the program being executed (nil when the
+// spin feature is off); the program supplies the static symbol table for
+// sync-variable resolution.
+func New(cfg Config, ins *spin.Instrumentation, prog *ir.Program) *Detector {
+	h := hb.New()
+	adhoc := core.New(h, ins, prog)
+	adhoc.InferLocks = cfg.InferLocks
+	return &Detector{
+		cfg:          cfg,
+		hb:           h,
+		adhoc:        adhoc,
+		locks:        lockset.NewTracker(),
+		shadow:       make(map[int64]*shadowWord),
+		reportedSite: make(map[siteKey]bool),
+		ins:          ins,
+	}
+}
+
+// Handle implements event.Sink.
+func (d *Detector) Handle(ev *event.Event) {
+	d.events++
+	switch ev.Kind {
+	case event.KindRead, event.KindWrite, event.KindAtomicRead, event.KindAtomicWrite:
+		d.onAccess(ev)
+	case event.KindSyncPre:
+		d.onSyncPre(ev)
+	case event.KindSyncPost:
+		d.onSyncPost(ev)
+	case event.KindSpawn:
+		d.hb.Spawn(ev.Tid, ev.Child)
+	case event.KindJoin:
+		d.hb.Join(ev.Tid, ev.Child)
+	case event.KindSpinRead:
+		d.adhoc.OnSpinRead(ev)
+	case event.KindSpinExit:
+		d.adhoc.OnSpinExit(ev)
+	case event.KindThreadStart, event.KindThreadExit:
+		// Thread clocks are created on demand; nothing to do.
+	}
+}
+
+func (d *Detector) word(addr int64) *shadowWord {
+	w := d.shadow[addr]
+	if w == nil {
+		w = &shadowWord{
+			reads:       vc.New(),
+			readsAtomic: vc.New(),
+			readEvents:  make(map[event.Tid]int64),
+		}
+		d.shadow[addr] = w
+	}
+	return w
+}
+
+func (d *Detector) onAccess(ev *event.Event) {
+	isWrite := ev.Kind.IsWrite()
+	isAtomic := ev.Kind.IsAtomic()
+
+	if d.cfg.Tool == DRDTool && d.cfg.AtomicsInvisible && isAtomic {
+		// DRD excludes atomic accesses from race checking entirely; they
+		// neither race nor pair against plain accesses.
+		return
+	}
+
+	w := d.word(ev.Addr)
+	if isAtomic {
+		w.atomicEver = true
+	}
+
+	// Eraser tool: lockset only.
+	if d.cfg.Tool == EraserTool {
+		warn, _ := d.locks.Access(ev.Tid, ev.Addr, isWrite)
+		if warn && !w.reported {
+			w.reported = true
+			d.warn(Warning{Kind: WarnLockset, Loc: ev.Loc, Addr: ev.Addr, Sym: ev.Sym,
+				Tid: ev.Tid, Write: isWrite, EventIdx: d.events})
+		}
+		return
+	}
+
+	// Hybrid bookkeeping (classification only; reporting is HB-driven).
+	if d.cfg.Tool == HelgrindPlus {
+		d.locks.Access(ev.Tid, ev.Addr, isWrite)
+	}
+
+	clock := d.hb.ClockOf(ev.Tid)
+	var raceWith event.Tid = -1
+	var raceEvent int64 = -1
+
+	// Write-read / write-write race: the last write must happen-before us.
+	// Two atomic accesses never race (atomicity is synchronization at the
+	// hardware level), so an atomic access conflicts only with plain ones.
+	if w.wSeen && w.wTid != ev.Tid && w.wTick > clock.Get(int(w.wTid)) &&
+		!(isAtomic && w.wAtomic) {
+		raceWith, raceEvent = w.wTid, w.wEvent
+	}
+	// Read-write race: every prior read must happen-before a write. Atomic
+	// writes race only with prior plain reads.
+	if isWrite && raceWith < 0 {
+		raceWith, raceEvent = d.readConflict(w.reads, w, ev, clock)
+		if raceWith < 0 && !isAtomic {
+			raceWith, raceEvent = d.readConflict(w.readsAtomic, w, ev, clock)
+		}
+	}
+
+	if raceWith >= 0 {
+		d.maybeReport(ev, w, isWrite, raceWith, raceEvent)
+	}
+
+	// Update shadow.
+	if isWrite {
+		w.wSeen = true
+		w.wTid = ev.Tid
+		w.wTick = clock.Get(int(ev.Tid))
+		w.wEvent = d.events
+		w.wLoc = ev.Loc
+		w.wAtomic = isAtomic
+	} else {
+		rc := w.reads
+		if isAtomic {
+			rc = w.readsAtomic
+		}
+		rc.Set(int(ev.Tid), clock.Get(int(ev.Tid)))
+		w.readEvents[ev.Tid] = d.events
+	}
+
+	// Feed the ad-hoc engine after the shadow update so the release
+	// snapshot reflects this write.
+	if isWrite {
+		d.adhoc.OnWrite(ev)
+	}
+}
+
+// readConflict finds a prior read in the clock that is unordered with the
+// current access.
+func (d *Detector) readConflict(rc *vc.Clock, w *shadowWord, ev *event.Event, clock *vc.Clock) (event.Tid, int64) {
+	for i := 0; i < rc.Len(); i++ {
+		tid := event.Tid(i)
+		if tid == ev.Tid {
+			continue
+		}
+		if rt := rc.Get(i); rt > 0 && rt > clock.Get(i) {
+			return tid, w.readEvents[tid]
+		}
+	}
+	return -1, -1
+}
+
+func (d *Detector) maybeReport(ev *event.Event, w *shadowWord, isWrite bool, other event.Tid, otherEvent int64) {
+	// Suppression of synchronization variables.
+	if d.adhoc.Enabled() {
+		if d.adhoc.IsSyncVar(ev.Addr, ev.Sym) {
+			return
+		}
+	} else if d.cfg.AtomicSuppression && w.atomicEver {
+		return
+	}
+	// Bounded history (DRD segment recycling).
+	if d.cfg.HistoryWindow > 0 && otherEvent >= 0 && d.events-otherEvent > d.cfg.HistoryWindow {
+		return
+	}
+	// Long-run MSM: arm on first observation, report on second.
+	if d.cfg.LongRunMSM && !w.suspected {
+		w.suspected = true
+		return
+	}
+	// Deduplication.
+	if d.cfg.DedupPerAddr {
+		if w.reported {
+			return
+		}
+		w.reported = true
+	} else {
+		k := siteKey{ev.Addr, ev.Loc}
+		if d.reportedSite[k] {
+			return
+		}
+		d.reportedSite[k] = true
+	}
+	d.warn(Warning{Kind: WarnHBRace, Loc: ev.Loc, Addr: ev.Addr, Sym: ev.Sym,
+		Tid: ev.Tid, Other: other, Write: isWrite, EventIdx: d.events})
+}
+
+func (d *Detector) warn(w Warning) {
+	d.warnings = append(d.warnings, w)
+}
+
+func (d *Detector) onSyncPre(ev *event.Event) {
+	if !d.cfg.supportsSync(ev.Sync) {
+		return
+	}
+	switch ev.Sync {
+	case ir.SyncMutexUnlock:
+		d.hb.Release(ev.Tid, ev.Addr)
+		d.locks.LockReleased(ev.Tid, ev.Addr)
+	case ir.SyncCondSignal:
+		d.hb.Release(ev.Tid, ev.Addr)
+	case ir.SyncCondWait:
+		// Waiting releases the user mutex (Addr2).
+		d.hb.Release(ev.Tid, ev.Addr2)
+		d.locks.LockReleased(ev.Tid, ev.Addr2)
+	case ir.SyncBarrierWait:
+		d.hb.BarrierArrive(ev.Tid, ev.Addr)
+	case ir.SyncSemPost, ir.SyncQueuePut:
+		d.hb.Release(ev.Tid, ev.Addr)
+	case ir.SyncRWUnlock:
+		d.hb.Release(ev.Tid, ev.Addr)
+		d.locks.LockReleased(ev.Tid, ev.Addr)
+	}
+}
+
+func (d *Detector) onSyncPost(ev *event.Event) {
+	if !d.cfg.supportsSync(ev.Sync) {
+		return
+	}
+	switch ev.Sync {
+	case ir.SyncMutexLock:
+		d.hb.Acquire(ev.Tid, ev.Addr)
+		d.locks.LockAcquired(ev.Tid, ev.Addr)
+	case ir.SyncCondWait:
+		d.hb.Acquire(ev.Tid, ev.Addr)  // the signal
+		d.hb.Acquire(ev.Tid, ev.Addr2) // the re-acquired mutex
+		d.locks.LockAcquired(ev.Tid, ev.Addr2)
+	case ir.SyncBarrierWait:
+		d.hb.BarrierLeave(ev.Tid, ev.Addr)
+	case ir.SyncSemWait, ir.SyncQueueGet, ir.SyncOnceEnter:
+		d.hb.Acquire(ev.Tid, ev.Addr)
+	case ir.SyncRWLockRd, ir.SyncRWLockWr:
+		// Reader/writer locks are modeled as exclusive for lockset
+		// purposes; the HB edges are exact either way.
+		d.hb.Acquire(ev.Tid, ev.Addr)
+		d.locks.LockAcquired(ev.Tid, ev.Addr)
+	}
+}
+
+// Report finalizes and returns the run's report.
+func (d *Detector) Report() *Report {
+	return &Report{
+		Config:            d.cfg,
+		Warnings:          d.warnings,
+		Events:            d.events,
+		SpinEdges:         d.adhoc.Edges,
+		SpinLoops:         d.numLoops(),
+		InferredLockWords: d.adhoc.InferredLockWords(),
+		ShadowBytes:       d.shadowBytes(),
+	}
+}
+
+func (d *Detector) numLoops() int {
+	if d.ins == nil {
+		return 0
+	}
+	return d.ins.NumLoops()
+}
+
+func (d *Detector) shadowBytes() int64 {
+	var n int64
+	for _, w := range d.shadow {
+		n += 96 + w.reads.Bytes() + w.readsAtomic.Bytes() + int64(len(w.readEvents))*24
+	}
+	n += d.hb.Bytes()
+	n += d.locks.Bytes()
+	n += d.adhoc.Bytes()
+	return n
+}

@@ -1,0 +1,46 @@
+package detect
+
+import (
+	"adhocrace/internal/event"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/vm"
+)
+
+// Run executes a program under one tool configuration and seed: it runs the
+// instrumentation phase, executes the program on the VM with the
+// configuration's interception set, and feeds the event stream through a
+// fresh detector.
+func Run(p *ir.Program, cfg Config, seed int64) (*Report, vm.Result, error) {
+	ins := cfg.Instrument(p)
+	d := New(cfg, ins, p)
+	res, err := vm.Run(p, vm.Options{
+		Seed:      seed,
+		KnownLibs: cfg.KnownLibs,
+		Instr:     ins,
+		Sink:      d,
+	})
+	return d.Report(), res, err
+}
+
+// RunWithCounter is Run with an event counter attached (for the performance
+// figures measuring instrumentation load).
+func RunWithCounter(p *ir.Program, cfg Config, seed int64) (*Report, *event.Counter, vm.Result, error) {
+	ins := cfg.Instrument(p)
+	d := New(cfg, ins, p)
+	ctr := &event.Counter{}
+	res, err := vm.Run(p, vm.Options{
+		Seed:      seed,
+		KnownLibs: cfg.KnownLibs,
+		Instr:     ins,
+		Sink:      event.Multi(ctr, d),
+	})
+	return d.Report(), ctr, res, err
+}
+
+// Baseline executes the program with no detector attached, for runtime
+// overhead comparisons.
+func Baseline(p *ir.Program, seed int64) (vm.Result, error) {
+	return vm.Run(p, vm.Options{Seed: seed, KnownLibs: map[ir.LibTag]bool{
+		ir.LibPthread: true, ir.LibGlib: true, ir.LibOMP: true,
+	}})
+}

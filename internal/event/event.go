@@ -1,0 +1,132 @@
+// Package event defines the runtime event stream produced by the vm and
+// consumed by race detectors.
+//
+// The stream is the moral equivalent of what Valgrind hands Helgrind+: a
+// totally ordered sequence of memory accesses, thread lifecycle operations,
+// intercepted high-level synchronization calls, and — when the spin-loop
+// instrumentation is active — spin-read and spin-exit marks.
+package event
+
+import "adhocrace/internal/ir"
+
+// Tid identifies a thread. The main thread is 0; spawned threads get
+// consecutive ids.
+type Tid int
+
+// Kind discriminates events.
+type Kind uint8
+
+// Event kinds.
+const (
+	// KindRead / KindWrite are plain memory accesses.
+	KindRead Kind = iota
+	KindWrite
+	// KindAtomicRead / KindAtomicWrite are atomic accesses (atomic loads,
+	// stores, and the read/write halves of CAS and fetch-add).
+	KindAtomicRead
+	KindAtomicWrite
+	// KindSyncPre / KindSyncPost bracket an intercepted library call.
+	// Pre fires before the callee body runs, Post after it returns.
+	KindSyncPre
+	KindSyncPost
+	// KindSpawn: the current thread created thread Child.
+	KindSpawn
+	// KindJoin: the current thread joined thread Child.
+	KindJoin
+	// KindThreadStart / KindThreadExit delimit a thread's lifetime.
+	KindThreadStart
+	KindThreadExit
+	// KindSpinRead marks a load that feeds the condition of an
+	// instrumented spinning read loop (instrumentation-phase mark).
+	KindSpinRead
+	// KindSpinExit marks a thread leaving an instrumented spinning read
+	// loop through one of its exit branches.
+	KindSpinExit
+)
+
+var kindNames = [...]string{
+	KindRead: "read", KindWrite: "write",
+	KindAtomicRead: "atomic-read", KindAtomicWrite: "atomic-write",
+	KindSyncPre: "sync-pre", KindSyncPost: "sync-post",
+	KindSpawn: "spawn", KindJoin: "join",
+	KindThreadStart: "thread-start", KindThreadExit: "thread-exit",
+	KindSpinRead: "spin-read", KindSpinExit: "spin-exit",
+}
+
+// String returns the event kind name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(?)"
+}
+
+// IsAccess reports whether the kind is a memory access.
+func (k Kind) IsAccess() bool { return k <= KindAtomicWrite }
+
+// IsWrite reports whether the kind writes memory.
+func (k Kind) IsWrite() bool { return k == KindWrite || k == KindAtomicWrite }
+
+// IsAtomic reports whether the kind is an atomic access.
+func (k Kind) IsAtomic() bool { return k == KindAtomicRead || k == KindAtomicWrite }
+
+// Event is one element of the runtime stream. Field meaning depends on Kind:
+//
+//   - accesses: Addr, Value (value read or written), Sym, Loc
+//   - sync pre/post: Sync (semantic kind), Addr (primitive address),
+//     Addr2 (second primitive, e.g. the mutex of a cond-wait), Loc
+//   - spawn/join: Child
+//   - spin-read: SpinLoop, Addr, Value, Loc (also emitted as a plain access)
+//   - spin-exit: SpinLoop
+type Event struct {
+	Kind  Kind
+	Tid   Tid
+	Addr  int64
+	Addr2 int64
+	Value int64
+	Child Tid
+	Sync  ir.SyncKind
+	// SpinLoop is the instrumentation-assigned loop id, valid for
+	// KindSpinRead/KindSpinExit.
+	SpinLoop int
+	// RMW marks the write half of a read-modify-write atomic (CAS,
+	// fetch-and-add). RMW writes extend the release history of their
+	// location instead of replacing it (a release sequence).
+	RMW bool
+	Sym string
+	Loc ir.Loc
+}
+
+// Sink consumes the event stream. Implementations must not retain the Event
+// pointer past the call.
+type Sink interface {
+	Handle(ev *Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(ev *Event)
+
+// Handle calls f.
+func (f SinkFunc) Handle(ev *Event) { f(ev) }
+
+// Multi fans an event out to several sinks in order.
+func Multi(sinks ...Sink) Sink {
+	return SinkFunc(func(ev *Event) {
+		for _, s := range sinks {
+			s.Handle(ev)
+		}
+	})
+}
+
+// Counter is a Sink that tallies events by kind; used by the performance
+// figures to report instrumentation load.
+type Counter struct {
+	ByKind [KindSpinExit + 1]int64
+	Total  int64
+}
+
+// Handle tallies the event.
+func (c *Counter) Handle(ev *Event) {
+	c.ByKind[ev.Kind]++
+	c.Total++
+}

@@ -1,0 +1,62 @@
+package event
+
+import (
+	"testing"
+
+	"adhocrace/internal/ir"
+)
+
+func TestKindClasses(t *testing.T) {
+	cases := []struct {
+		k                     Kind
+		access, write, atomic bool
+		name                  string
+	}{
+		{KindRead, true, false, false, "read"},
+		{KindWrite, true, true, false, "write"},
+		{KindAtomicRead, true, false, true, "atomic-read"},
+		{KindAtomicWrite, true, true, true, "atomic-write"},
+		{KindSyncPre, false, false, false, "sync-pre"},
+		{KindSpawn, false, false, false, "spawn"},
+		{KindSpinRead, false, false, false, "spin-read"},
+		{KindSpinExit, false, false, false, "spin-exit"},
+	}
+	for _, c := range cases {
+		if c.k.IsAccess() != c.access || c.k.IsWrite() != c.write || c.k.IsAtomic() != c.atomic {
+			t.Errorf("%v: classes wrong", c.k)
+		}
+		if c.k.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.k, c.k.String(), c.name)
+		}
+	}
+}
+
+func TestMultiFanout(t *testing.T) {
+	var a, b []Kind
+	s := Multi(
+		SinkFunc(func(ev *Event) { a = append(a, ev.Kind) }),
+		SinkFunc(func(ev *Event) { b = append(b, ev.Kind) }),
+	)
+	s.Handle(&Event{Kind: KindWrite})
+	s.Handle(&Event{Kind: KindRead})
+	if len(a) != 2 || len(b) != 2 || a[0] != KindWrite || b[1] != KindRead {
+		t.Errorf("fanout broken: %v %v", a, b)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	c := &Counter{}
+	c.Handle(&Event{Kind: KindWrite})
+	c.Handle(&Event{Kind: KindWrite})
+	c.Handle(&Event{Kind: KindSpinExit})
+	if c.Total != 3 || c.ByKind[KindWrite] != 2 || c.ByKind[KindSpinExit] != 1 {
+		t.Errorf("counter: total=%d bykind=%v", c.Total, c.ByKind)
+	}
+}
+
+func TestEventCarriesSyncKind(t *testing.T) {
+	ev := Event{Kind: KindSyncPre, Sync: ir.SyncMutexLock, Addr: 64}
+	if ev.Sync != ir.SyncMutexLock || ev.Addr != 64 {
+		t.Error("sync fields lost")
+	}
+}

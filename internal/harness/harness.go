@@ -1,0 +1,180 @@
+// Package harness runs the paper's experiments: the data-race-test
+// accuracy tables (slides 24/25), the PARSEC racy-context tables (slides
+// 27-30), and the memory/runtime overhead figures (slides 31/32).
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/workloads/dataracetest"
+)
+
+// ContextCap is the saturation value of the racy-context metric: the paper
+// reports 1000 when a tool floods.
+const ContextCap = 1000
+
+// Seeds are the scheduler seeds the PARSEC experiments average over
+// ("five runs" in the paper's metric).
+var Seeds = []int64{1, 2, 3, 4, 5}
+
+// AccuracyRow is one tool's line in the test-suite accuracy table.
+type AccuracyRow struct {
+	Tool        string
+	FalseAlarms int
+	MissedRaces int
+	Failed      int
+	Correct     int
+	// FailedCases lists the failing case names for diagnosis.
+	FailedCases []string
+}
+
+// Accuracy scores one tool configuration over the full data-race-test
+// suite with a fixed seed: a race-free case with any warning is a false
+// alarm, a racy case without warnings is a missed race.
+func Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
+	row := AccuracyRow{Tool: cfg.Name}
+	for _, c := range dataracetest.Suite() {
+		rep, _, err := detect.Run(c.Build(), cfg, seed)
+		if err != nil {
+			return row, fmt.Errorf("%s on %s: %w", cfg.Name, c.Name, err)
+		}
+		warned := rep.HasWarnings()
+		switch {
+		case !c.Racy && warned:
+			row.FalseAlarms++
+			row.FailedCases = append(row.FailedCases, c.Name)
+		case c.Racy && !warned:
+			row.MissedRaces++
+			row.FailedCases = append(row.FailedCases, c.Name)
+		}
+	}
+	row.Failed = row.FalseAlarms + row.MissedRaces
+	row.Correct = dataracetest.SuiteSize - row.Failed
+	return row, nil
+}
+
+// AccuracyTable scores several configurations (Table 1 uses the four paper
+// tools; Table 2 the spin-window sweep).
+func AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
+	rows := make([]AccuracyRow, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		row, err := Accuracy(cfg, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table1Configs are the four tools of the slide-24 table.
+func Table1Configs() []detect.Config { return detect.PaperTools(7) }
+
+// Table2Configs are the spin-window sweep of the slide-25 table.
+func Table2Configs() []detect.Config {
+	return []detect.Config{
+		detect.HelgrindPlusLibSpin(3),
+		detect.HelgrindPlusLibSpin(6),
+		detect.HelgrindPlusLibSpin(7),
+		detect.HelgrindPlusLibSpin(8),
+	}
+}
+
+// FormatAccuracy renders an accuracy table in the paper's column layout.
+func FormatAccuracy(title string, rows []AccuracyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-28s %12s %12s %12s %18s\n",
+		"Tool", "False alarms", "Missed races", "Failed cases", "Correctly analyzed")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %12d %12d %12d %18d\n",
+			r.Tool, r.FalseAlarms, r.MissedRaces, r.Failed, r.Correct)
+	}
+	return b.String()
+}
+
+// ContextResult is the racy-context score of one (program, tool) pair:
+// the mean over Seeds of distinct warned source locations, capped.
+type ContextResult struct {
+	Program string
+	Tool    string
+	Mean    float64
+	PerSeed []int
+}
+
+// RacyContexts measures one program under one tool configuration across
+// the standard seeds.
+func RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
+	res := ContextResult{Program: program, Tool: cfg.Name}
+	total := 0
+	for _, seed := range Seeds {
+		rep, _, err := detect.Run(build(), cfg, seed)
+		if err != nil {
+			return res, fmt.Errorf("%s on %s seed %d: %w", cfg.Name, program, seed, err)
+		}
+		n := rep.RacyContexts()
+		if n > ContextCap {
+			n = ContextCap
+		}
+		res.PerSeed = append(res.PerSeed, n)
+		total += n
+	}
+	res.Mean = float64(total) / float64(len(Seeds))
+	return res, nil
+}
+
+// FormatContexts renders a racy-context table: one row per program, one
+// column per tool.
+func FormatContexts(title string, programs []string, tools []string, cells map[string]map[string]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%-16s", "Program")
+	for _, tool := range tools {
+		fmt.Fprintf(&b, " %22s", tool)
+	}
+	fmt.Fprintln(&b)
+	for _, prog := range programs {
+		fmt.Fprintf(&b, "%-16s", prog)
+		for _, tool := range tools {
+			fmt.Fprintf(&b, " %22s", formatMean(cells[prog][tool]))
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+func formatMean(v float64) string {
+	if v == float64(int(v)) {
+		return fmt.Sprintf("%d", int(v))
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// DiffCategories summarizes which categories the failing cases of a row
+// fall into — used by tests asserting the table's shape.
+func DiffCategories(row AccuracyRow) map[string]int {
+	byName := make(map[string]string)
+	for _, c := range dataracetest.Suite() {
+		byName[c.Name] = c.Category
+	}
+	out := make(map[string]int)
+	for _, name := range row.FailedCases {
+		out[byName[name]]++
+	}
+	return out
+}
+
+// SortedKeys returns the sorted keys of a string-count map, for stable
+// diagnostics of DiffCategories results.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"adhocrace/internal/detect"
+)
+
+// TestTable1MatchesPaper asserts the exact slide-24 table. These are the
+// headline numbers of the reproduction; the suite composition was derived
+// from the paper's category descriptions and these cells fall out of the
+// detector mechanics.
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := AccuracyTable(Table1Configs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AccuracyRow{
+		{Tool: "Helgrind+ lib", FalseAlarms: 32, MissedRaces: 8, Failed: 40, Correct: 80},
+		{Tool: "Helgrind+ lib+spin(7)", FalseAlarms: 8, MissedRaces: 7, Failed: 15, Correct: 105},
+		{Tool: "Helgrind+ nolib+spin(7)", FalseAlarms: 9, MissedRaces: 7, Failed: 16, Correct: 104},
+		{Tool: "DRD", FalseAlarms: 13, MissedRaces: 20, Failed: 33, Correct: 87},
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.Tool != w.Tool || g.FalseAlarms != w.FalseAlarms || g.MissedRaces != w.MissedRaces ||
+			g.Failed != w.Failed || g.Correct != w.Correct {
+			t.Errorf("row %d: got %s %d/%d/%d/%d, want %s %d/%d/%d/%d\nfailed cases: %v",
+				i, g.Tool, g.FalseAlarms, g.MissedRaces, g.Failed, g.Correct,
+				w.Tool, w.FalseAlarms, w.MissedRaces, w.Failed, w.Correct, g.FailedCases)
+		}
+	}
+}
+
+// TestTable2MatchesPaper asserts the slide-25 spin-window sweep.
+func TestTable2MatchesPaper(t *testing.T) {
+	rows, err := AccuracyTable(Table2Configs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][4]int{ // FA, MR, failed, correct
+		{24, 7, 31, 89},
+		{23, 7, 30, 90},
+		{8, 7, 15, 105},
+		{8, 7, 15, 105},
+	}
+	for i, w := range want {
+		g := rows[i]
+		if g.FalseAlarms != w[0] || g.MissedRaces != w[1] || g.Failed != w[2] || g.Correct != w[3] {
+			t.Errorf("%s: got %d/%d/%d/%d, want %v", g.Tool,
+				g.FalseAlarms, g.MissedRaces, g.Failed, g.Correct, w)
+		}
+	}
+}
+
+// TestTable1RemovedFalseNegative pins the paper's note that the spin
+// feature also removes one false negative (8 -> 7 missed races), at every
+// window size.
+func TestTable1RemovedFalseNegative(t *testing.T) {
+	lib, err := Accuracy(detect.HelgrindPlusLib(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spin3, err := Accuracy(detect.HelgrindPlusLibSpin(3), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lib.MissedRaces != spin3.MissedRaces+1 {
+		t.Errorf("missed races lib=%d vs spin(3)=%d, want exactly one recovered",
+			lib.MissedRaces, spin3.MissedRaces)
+	}
+	cats := DiffCategories(lib)
+	if cats["racy-atomic"] != 1 {
+		t.Errorf("the recovered false negative should be the racy-atomic case, got %v", cats)
+	}
+}
+
+// TestAccuracyFailureCategories checks that failures fall only into the
+// designed categories per tool.
+func TestAccuracyFailureCategories(t *testing.T) {
+	allowed := map[string]map[string]bool{
+		"Helgrind+ lib": {
+			"adhoc-spin": true, "adhoc-hard": true, "racy-hidden": true, "racy-atomic": true,
+		},
+		"Helgrind+ lib+spin(7)": {
+			"adhoc-hard": true, "racy-hidden": true,
+		},
+		"Helgrind+ nolib+spin(7)": {
+			"adhoc-hard": true, "racy-hidden": true, "lib-event": true,
+		},
+		"DRD": {
+			"adhoc-spin": true, "adhoc-hard": true, "racy-hidden": true,
+			"racy-window": true, "racy-atomic": true,
+		},
+	}
+	rows, err := AccuracyTable(Table1Configs(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		cats := DiffCategories(row)
+		for _, cat := range SortedKeys(cats) {
+			if !allowed[row.Tool][cat] {
+				t.Errorf("%s: %d failures in unexpected category %q", row.Tool, cats[cat], cat)
+			}
+		}
+	}
+}
+
+func TestFormatAccuracy(t *testing.T) {
+	s := FormatAccuracy("Table X", []AccuracyRow{{Tool: "T", FalseAlarms: 1, MissedRaces: 2, Failed: 3, Correct: 117}})
+	if want := "Table X"; len(s) == 0 || s[:len(want)] != want {
+		t.Errorf("missing title: %q", s)
+	}
+}
+
+func TestFormatTable3HasAllPrograms(t *testing.T) {
+	s := FormatTable3()
+	for _, name := range []string{"blackscholes", "raytrace", "x264", "freqmine"} {
+		if !contains(s, name) {
+			t.Errorf("table 3 missing %s", name)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"testing"
+
+	"adhocrace/internal/workloads/parsec"
+)
+
+const (
+	libTool   = "Helgrind+ lib"
+	spinTool  = "Helgrind+ lib+spin(7)"
+	nolibTool = "Helgrind+ nolib+spin(7)"
+	drdTool   = "DRD"
+)
+
+// TestTable6Shapes runs the full universal-detector table (slide 30) and
+// asserts the paper's qualitative results cell by cell: which programs are
+// clean, where the spin feature eliminates false positives completely,
+// which residues remain, and where DRD saturates.
+func TestTable6Shapes(t *testing.T) {
+	cells, _, err := Table6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(prog, tool string) float64 { return cells[prog][tool] }
+
+	// Programs without ad-hoc sync and with a known library: clean under
+	// every tool (slide 27, first four rows).
+	for _, prog := range []string{"blackscholes", "swaptions", "fluidanimate", "canneal"} {
+		for _, tool := range []string{libTool, spinTool, nolibTool, drdTool} {
+			if v := get(prog, tool); v != 0 {
+				t.Errorf("%s/%s = %v, want 0", prog, tool, v)
+			}
+		}
+	}
+
+	// freqmine (OpenMP, unknown library): lib-mode floods moderately, the
+	// spin feature collapses it to 2 residual contexts, DRD saturates.
+	if v := get("freqmine", libTool); v < 100 || v > 200 {
+		t.Errorf("freqmine/lib = %v, want ~153", v)
+	}
+	for _, tool := range []string{spinTool, nolibTool} {
+		if v := get("freqmine", tool); v != 2 {
+			t.Errorf("freqmine/%s = %v, want 2", tool, v)
+		}
+	}
+	if v := get("freqmine", drdTool); v != ContextCap {
+		t.Errorf("freqmine/DRD = %v, want cap", v)
+	}
+
+	// Spin detection eliminates false positives completely in 5 of the 8
+	// ad-hoc programs (slide 28).
+	for _, prog := range []string{"vips", "facesim", "dedup", "streamcluster", "raytrace"} {
+		if v := get(prog, spinTool); v != 0 {
+			t.Errorf("%s/lib+spin = %v, want 0 (complete elimination)", prog, v)
+		}
+	}
+
+	// The three residual programs keep a few contexts (2-19 warnings).
+	for prog, lohi := range map[string][2]float64{
+		"bodytrack": {2, 6},
+		"ferret":    {2, 2},
+		"x264":      {19, 19},
+	} {
+		v := get(prog, spinTool)
+		if v < lohi[0] || v > lohi[1] {
+			t.Errorf("%s/lib+spin = %v, want in [%v,%v]", prog, v, lohi[0], lohi[1])
+		}
+	}
+
+	// The universal detector is slightly worse than lib+spin where library
+	// primitives resist classification (slide 30's note), and equal
+	// elsewhere.
+	for prog, want := range map[string]float64{
+		"vips": 0, "facesim": 0, "raytrace": 0, // equal
+		"dedup": 2, "streamcluster": 1, "x264": 28, "ferret": 47, // worse
+	} {
+		if v := get(prog, nolibTool); v != want {
+			t.Errorf("%s/nolib+spin = %v, want %v", prog, v, want)
+		}
+	}
+	if lib, nolib := get("bodytrack", libTool), get("bodytrack", nolibTool); nolib >= lib || nolib < 25 {
+		t.Errorf("bodytrack nolib=%v should be close below lib=%v", nolib, lib)
+	}
+
+	// Helgrind+ lib saturates on x264 and dedup; DRD saturates on the
+	// flag-heavy and barrier-heavy programs but is clean on dedup (its
+	// bounded history recycles the long hand-off) and moderate on
+	// bodytrack/ferret.
+	for _, prog := range []string{"x264", "dedup"} {
+		if v := get(prog, libTool); v != ContextCap {
+			t.Errorf("%s/lib = %v, want cap", prog, v)
+		}
+	}
+	for _, prog := range []string{"facesim", "streamcluster", "raytrace", "x264"} {
+		if v := get(prog, drdTool); v != ContextCap {
+			t.Errorf("%s/DRD = %v, want cap", prog, v)
+		}
+	}
+	if v := get("dedup", drdTool); v != 0 {
+		t.Errorf("dedup/DRD = %v, want 0", v)
+	}
+	if v := get("vips", drdTool); v < 400 || v >= ContextCap {
+		t.Errorf("vips/DRD = %v, want hundreds below the cap", v)
+	}
+	if v := get("ferret", drdTool); v < 150 || v > 300 {
+		t.Errorf("ferret/DRD = %v, want ~215", v)
+	}
+
+	// streamcluster: the slide-18 custom barrier's 4 contexts under lib.
+	if v := get("streamcluster", libTool); v != 4 {
+		t.Errorf("streamcluster/lib = %v, want 4", v)
+	}
+	// vips/facesim/raytrace lib-mode counts sit near the paper's values.
+	for prog, approx := range map[string]float64{"vips": 51, "facesim": 114, "raytrace": 106, "ferret": 111} {
+		v := get(prog, libTool)
+		if v < approx-5 || v > approx+5 {
+			t.Errorf("%s/lib = %v, want ~%v", prog, v, approx)
+		}
+	}
+}
+
+// TestOverheadFiguresMinor asserts the slide-31/32 claim: the spin feature
+// adds only minor memory and runtime overhead.
+func TestOverheadFiguresMinor(t *testing.T) {
+	rows, err := OverheadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 13 {
+		t.Fatalf("got %d rows, want 13", len(rows))
+	}
+	for _, r := range rows {
+		if r.MemoryRatio() > 1.35 {
+			t.Errorf("%s: memory ratio %.3f exceeds 'minor overhead'", r.Program, r.MemoryRatio())
+		}
+		// Event counts weight a spin-read mark like a full race check, so
+		// they overstate cost on spin-heavy programs; the wall-clock
+		// benchmarks (bench_test.go) carry the real runtime figure. Still,
+		// instrumentation load must stay within a small factor.
+		if r.EventRatio() > 2.0 {
+			t.Errorf("%s: event ratio %.3f exceeds bound", r.Program, r.EventRatio())
+		}
+	}
+	// The ad-hoc programs must actually classify loops and inject edges.
+	adhoc := map[string]bool{}
+	for _, m := range parsec.WithAdhoc() {
+		adhoc[m.Name] = true
+	}
+	for _, r := range rows {
+		if adhoc[r.Program] && r.Loops == 0 {
+			t.Errorf("%s: no spin loops classified", r.Program)
+		}
+		if adhoc[r.Program] && r.Edges == 0 {
+			t.Errorf("%s: no happens-before edges injected", r.Program)
+		}
+	}
+}
+
+func TestRacyContextsDeterministicPerSeed(t *testing.T) {
+	m, ok := parsec.ByName("ferret")
+	if !ok {
+		t.Fatal("no ferret model")
+	}
+	a, err := RacyContexts(m.Build, m.Name, Table1Configs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RacyContexts(m.Build, m.Name, Table1Configs()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.PerSeed {
+		if a.PerSeed[i] != b.PerSeed[i] {
+			t.Errorf("seed %d: %d vs %d — runs must be reproducible", i, a.PerSeed[i], b.PerSeed[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package hb implements the happens-before engine: per-thread vector clocks
+// ordered by thread lifecycle edges and release/acquire on synchronization
+// objects (mutexes, condition variables, semaphores, barriers, queues).
+//
+// Detectors feed it the intercepted sync events of the libraries they know;
+// package core feeds it the edges inferred from spinning read loops.
+package hb
+
+import (
+	"adhocrace/internal/event"
+	"adhocrace/internal/vc"
+)
+
+// Engine tracks the happens-before relation of one execution.
+type Engine struct {
+	threads  []*vc.Clock
+	objs     map[int64]*vc.Clock
+	barriers map[int64]*barrierState
+}
+
+type barrierState struct {
+	pending  *vc.Clock
+	arrivals int
+	leaves   int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		objs:     make(map[int64]*vc.Clock),
+		barriers: make(map[int64]*barrierState),
+	}
+}
+
+// ClockOf returns the clock of thread t, creating it on first use. The
+// returned clock is the engine's live clock: callers may Join into it but
+// must not retain it across engine operations.
+func (e *Engine) ClockOf(t event.Tid) *vc.Clock {
+	i := int(t)
+	for len(e.threads) <= i {
+		fresh := vc.New()
+		fresh.Tick(len(e.threads)) // each thread starts with its own component at 1
+		e.threads = append(e.threads, fresh)
+	}
+	return e.threads[i]
+}
+
+// Spawn orders parent before child: the child inherits the parent's clock.
+func (e *Engine) Spawn(parent, child event.Tid) {
+	pc := e.ClockOf(parent)
+	cc := e.ClockOf(child)
+	cc.Join(pc)
+	pc.Tick(int(parent))
+	cc.Tick(int(child))
+}
+
+// Join orders child before parent at the join point.
+func (e *Engine) Join(parent, child event.Tid) {
+	pc := e.ClockOf(parent)
+	pc.Join(e.ClockOf(child))
+	pc.Tick(int(parent))
+}
+
+// Release publishes thread t's knowledge on object obj (mutex unlock,
+// condvar signal, semaphore post, queue put).
+func (e *Engine) Release(t event.Tid, obj int64) {
+	c := e.objs[obj]
+	if c == nil {
+		c = vc.New()
+		e.objs[obj] = c
+	}
+	tc := e.ClockOf(t)
+	c.Join(tc)
+	tc.Tick(int(t))
+}
+
+// Acquire imports the object's published knowledge into thread t (mutex
+// lock, condvar wakeup, semaphore wait, queue get).
+func (e *Engine) Acquire(t event.Tid, obj int64) {
+	if c := e.objs[obj]; c != nil {
+		e.ClockOf(t).Join(c)
+	}
+}
+
+// BarrierArrive registers thread t at the barrier (the Pre side of a
+// barrier wait). All arrivals of a generation are accumulated.
+func (e *Engine) BarrierArrive(t event.Tid, obj int64) {
+	bs := e.barriers[obj]
+	if bs == nil {
+		bs = &barrierState{pending: vc.New()}
+		e.barriers[obj] = bs
+	}
+	tc := e.ClockOf(t)
+	bs.pending.Join(tc)
+	bs.arrivals++
+	tc.Tick(int(t))
+}
+
+// BarrierLeave imports the accumulated generation clock into thread t (the
+// Post side). When every arrival has left, the generation resets. A thread
+// re-entering before the generation drains merges into the next generation;
+// that over-approximates ordering (extra edges, never missing ones), which
+// is the conservative direction for false-positive counts.
+func (e *Engine) BarrierLeave(t event.Tid, obj int64) {
+	bs := e.barriers[obj]
+	if bs == nil {
+		return
+	}
+	e.ClockOf(t).Join(bs.pending)
+	bs.leaves++
+	if bs.leaves >= bs.arrivals {
+		bs.pending = vc.New()
+		bs.arrivals = 0
+		bs.leaves = 0
+	}
+}
+
+// Snapshot returns a copy of thread t's current clock.
+func (e *Engine) Snapshot(t event.Tid) *vc.Clock {
+	return e.ClockOf(t).Copy()
+}
+
+// Bytes approximates the engine's memory footprint for the memory figure.
+func (e *Engine) Bytes() int64 {
+	var n int64
+	for _, c := range e.threads {
+		if c != nil {
+			n += c.Bytes()
+		}
+	}
+	for _, c := range e.objs {
+		n += c.Bytes() + 16
+	}
+	for _, b := range e.barriers {
+		n += b.pending.Bytes() + 32
+	}
+	return n
+}

@@ -1,0 +1,153 @@
+package hb
+
+import (
+	"testing"
+
+	"adhocrace/internal/event"
+	"adhocrace/internal/vc"
+)
+
+func ordered(a, b *vc.Clock) bool { return a.LessOrEqual(b) }
+
+func TestSpawnOrdersParentBeforeChild(t *testing.T) {
+	e := New()
+	before := e.Snapshot(0)
+	e.Spawn(0, 1)
+	child := e.Snapshot(1)
+	if !ordered(before, child) {
+		t.Error("parent's pre-spawn clock must happen-before the child")
+	}
+	// The parent's post-spawn clock is not ordered with the child.
+	after := e.Snapshot(0)
+	if ordered(after, child) {
+		t.Error("parent's post-spawn clock must be concurrent with the child")
+	}
+}
+
+func TestJoinOrdersChildBeforeParent(t *testing.T) {
+	e := New()
+	e.Spawn(0, 1)
+	e.ClockOf(1).Tick(1) // child does work
+	childClock := e.Snapshot(1)
+	e.Join(0, 1)
+	parent := e.Snapshot(0)
+	if !ordered(childClock, parent) {
+		t.Error("child must happen-before the parent after join")
+	}
+}
+
+func TestReleaseAcquireChain(t *testing.T) {
+	e := New()
+	e.Spawn(0, 1)
+	e.Spawn(0, 2)
+	t1 := e.Snapshot(1)
+	e.Release(1, 100)
+	e.Acquire(2, 100)
+	t2 := e.Snapshot(2)
+	if !ordered(t1, t2) {
+		t.Error("release/acquire on the same object must order threads")
+	}
+}
+
+func TestAcquireDifferentObjectNoOrder(t *testing.T) {
+	e := New()
+	e.Spawn(0, 1)
+	e.Spawn(0, 2)
+	e.ClockOf(1).Tick(1)
+	t1 := e.Snapshot(1)
+	e.Release(1, 100)
+	e.Acquire(2, 200) // different object
+	t2 := e.Snapshot(2)
+	if ordered(t1, t2) {
+		t.Error("different objects must not create edges")
+	}
+}
+
+func TestAcquireUnknownObjectIsNoop(t *testing.T) {
+	e := New()
+	before := e.Snapshot(3)
+	e.Acquire(3, 999)
+	after := e.Snapshot(3)
+	if !ordered(before, after) || !ordered(after, before) {
+		t.Error("acquire on a never-released object must not change the clock")
+	}
+}
+
+func TestBarrierOrdersAllArrivalsBeforeAllLeaves(t *testing.T) {
+	e := New()
+	for i := 1; i <= 3; i++ {
+		e.Spawn(0, event.Tid(i))
+	}
+	snaps := make([]*vc.Clock, 4)
+	for i := 1; i <= 3; i++ {
+		e.ClockOf(event.Tid(i)).Tick(i)
+		snaps[i] = e.Snapshot(event.Tid(i))
+		e.BarrierArrive(event.Tid(i), 500)
+	}
+	for i := 1; i <= 3; i++ {
+		e.BarrierLeave(event.Tid(i), 500)
+	}
+	for i := 1; i <= 3; i++ {
+		leave := e.Snapshot(event.Tid(i))
+		for j := 1; j <= 3; j++ {
+			if !ordered(snaps[j], leave) {
+				t.Errorf("arrival of T%d must happen-before T%d's leave", j, i)
+			}
+		}
+	}
+}
+
+func TestBarrierGenerationResets(t *testing.T) {
+	e := New()
+	e.Spawn(0, 1)
+	e.Spawn(0, 2)
+	// Generation 1.
+	e.BarrierArrive(1, 500)
+	e.BarrierArrive(2, 500)
+	e.BarrierLeave(1, 500)
+	e.BarrierLeave(2, 500)
+	// Work after the barrier by T1 only.
+	e.ClockOf(1).Tick(1)
+	after := e.Snapshot(1)
+	// Generation 2: T2 arrives and leaves; T1's post-gen1 work must not
+	// leak into T2 unless T1 arrived too.
+	e.BarrierArrive(2, 500)
+	e.BarrierLeave(2, 500)
+	t2 := e.Snapshot(2)
+	if ordered(after, t2) {
+		t.Error("generation state leaked across a drained barrier")
+	}
+}
+
+func TestBarrierLeaveWithoutArriveIsSafe(t *testing.T) {
+	e := New()
+	e.BarrierLeave(1, 77) // never armed: must not panic
+}
+
+func TestClockOfGrows(t *testing.T) {
+	e := New()
+	c := e.ClockOf(10)
+	if c.Get(10) != 1 {
+		t.Errorf("fresh thread clock component = %d, want 1", c.Get(10))
+	}
+	if e.Bytes() <= 0 {
+		t.Error("Bytes must be positive")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	e := New()
+	for i := 1; i <= 3; i++ {
+		e.Spawn(0, event.Tid(i))
+	}
+	e.ClockOf(1).Tick(1)
+	t1 := e.Snapshot(1)
+	e.Release(1, 1)
+	e.Acquire(2, 1)
+	e.Release(2, 2)
+	e.Acquire(3, 2)
+	t3 := e.Snapshot(3)
+	if !ordered(t1, t3) {
+		t.Error("happens-before must be transitive across objects")
+	}
+}

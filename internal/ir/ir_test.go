@@ -1,0 +1,230 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpStringAndClasses(t *testing.T) {
+	cases := []struct {
+		op                    Op
+		name                  string
+		read, write, atomic   bool
+		terminator, validName bool
+	}{
+		{OpLoad, "load", true, false, false, false, true},
+		{OpStore, "store", false, true, false, false, true},
+		{OpAtomicLoad, "aload", true, false, true, false, true},
+		{OpAtomicStore, "astore", false, true, true, false, true},
+		{OpAtomicCAS, "cas", true, true, true, false, true},
+		{OpAtomicAdd, "xadd", true, true, true, false, true},
+		{OpJmp, "jmp", false, false, false, true, true},
+		{OpBr, "br", false, false, false, true, true},
+		{OpRet, "ret", false, false, false, true, true},
+		{OpAdd, "add", false, false, false, false, true},
+	}
+	for _, c := range cases {
+		if c.op.String() != c.name {
+			t.Errorf("%v.String() = %q, want %q", c.op, c.op.String(), c.name)
+		}
+		if c.op.IsMemRead() != c.read {
+			t.Errorf("%v.IsMemRead() = %v", c.op, c.op.IsMemRead())
+		}
+		if c.op.IsMemWrite() != c.write {
+			t.Errorf("%v.IsMemWrite() = %v", c.op, c.op.IsMemWrite())
+		}
+		if c.op.IsAtomic() != c.atomic {
+			t.Errorf("%v.IsAtomic() = %v", c.op, c.op.IsAtomic())
+		}
+		if c.op.IsTerminator() != c.terminator {
+			t.Errorf("%v.IsTerminator() = %v", c.op, c.op.IsTerminator())
+		}
+	}
+}
+
+func TestLoc(t *testing.T) {
+	var zero Loc
+	if !zero.IsZero() || zero.String() != "?" {
+		t.Errorf("zero loc: %v %q", zero.IsZero(), zero.String())
+	}
+	l := Loc{File: "a.c", Line: 12}
+	if l.IsZero() || l.String() != "a.c:12" {
+		t.Errorf("loc: %q", l.String())
+	}
+}
+
+func TestBuilderGlobals(t *testing.T) {
+	b := NewBuilder("t")
+	g1 := b.Global("A")
+	g2 := b.GlobalArray("B", 4)
+	g3 := b.Global("C")
+	if g1 != 0 || g2 != 8 || g3 != 8+4*8 {
+		t.Errorf("addresses: %d %d %d", g1, g2, g3)
+	}
+	if d := b.GlobalDesc(g2); d.Name != "B" || d.Words != 4 {
+		t.Errorf("desc: %+v", d)
+	}
+}
+
+func TestSymbolAt(t *testing.T) {
+	b := NewBuilder("t")
+	b.Global("A")
+	b.GlobalArray("B", 2)
+	f := b.Func("main", 0)
+	f.Ret(NoReg)
+	p := b.MustBuild()
+	for addr, want := range map[int64]string{0: "A", 8: "B[0]", 16: "B[1]", 24: ""} {
+		if got := p.SymbolAt(addr); got != want {
+			t.Errorf("SymbolAt(%d) = %q, want %q", addr, got, want)
+		}
+	}
+	if p.MemoryWords() != 3 {
+		t.Errorf("MemoryWords = %d", p.MemoryWords())
+	}
+}
+
+func TestBuilderCallFixup(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main", 0)
+	f.Call("callee") // forward reference
+	f.Ret(NoReg)
+	g := b.Func("callee", 0)
+	g.Ret(NoReg)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := p.Funcs[0].Blocks[0].Instrs[0]
+	if call.Op != OpCall || int(call.Imm) != g.Index() {
+		t.Errorf("fixup failed: %v", call)
+	}
+}
+
+func TestBuilderUnresolvedCall(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main", 0)
+	f.Call("nope")
+	f.Ret(NoReg)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected unresolved-call error")
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	mk := func(mut func(p *Program)) error {
+		b := NewBuilder("t")
+		f := b.Func("main", 0)
+		r := f.Const(1)
+		f.Ret(r)
+		p := b.MustBuild()
+		mut(p)
+		return p.Validate()
+	}
+	if err := mk(func(p *Program) {
+		p.Funcs[0].Blocks[0].Instrs[0].Dst = 99
+	}); err == nil {
+		t.Error("out-of-range register not rejected")
+	}
+	if err := mk(func(p *Program) {
+		p.Funcs[0].Blocks[0].Instrs = p.Funcs[0].Blocks[0].Instrs[:1]
+	}); err == nil {
+		t.Error("missing terminator not rejected")
+	}
+	if err := mk(func(p *Program) {
+		p.Funcs[0].Blocks[0].Instrs[1] = Instr{Op: OpJmp, Imm: 7, Dst: NoReg, A: NoReg, B: NoReg, C: NoReg}
+	}); err == nil {
+		t.Error("bad branch target not rejected")
+	}
+}
+
+func TestValidateArgCount(t *testing.T) {
+	b := NewBuilder("t")
+	callee := b.Func("callee", 2)
+	callee.Ret(NoReg)
+	f := b.Func("main", 0)
+	one := f.Const(1)
+	f.Call("callee", one) // one arg, callee wants two
+	f.Ret(NoReg)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("arg-count mismatch not rejected")
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main", 0)
+	c := f.Const(1)
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	f.Br(c, b1, b2)
+	f.SetBlock(b1)
+	f.Jmp(b2)
+	f.SetBlock(b2)
+	f.Ret(NoReg)
+	p := b.MustBuild()
+	blocks := p.Funcs[0].Blocks
+	if got := blocks[0].Succs(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("br succs = %v", got)
+	}
+	if got := blocks[1].Succs(); len(got) != 1 || got[0] != 2 {
+		t.Errorf("jmp succs = %v", got)
+	}
+	if got := blocks[2].Succs(); got != nil {
+		t.Errorf("ret succs = %v", got)
+	}
+}
+
+func TestBrSameTargetsSingleSucc(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main", 0)
+	c := f.Const(1)
+	b1 := f.NewBlock()
+	f.Br(c, b1, b1)
+	f.SetBlock(b1)
+	f.Ret(NoReg)
+	p := b.MustBuild()
+	if got := p.Funcs[0].Blocks[0].Succs(); len(got) != 1 {
+		t.Errorf("degenerate br succs = %v", got)
+	}
+}
+
+func TestLocAutoAdvanceAndPin(t *testing.T) {
+	b := NewBuilder("t")
+	f := b.Func("main", 0)
+	f.SetLoc("x.c", 5)
+	f.Const(1)
+	f.Const(2)
+	f.PinLoc("y.c", 9)
+	f.Const(3)
+	f.Const(4)
+	f.Ret(NoReg)
+	ins := b.MustBuild().Funcs[0].Blocks[0].Instrs
+	if ins[0].Loc != (Loc{"x.c", 5}) || ins[1].Loc != (Loc{"x.c", 6}) {
+		t.Errorf("auto-advance: %v %v", ins[0].Loc, ins[1].Loc)
+	}
+	if ins[2].Loc != (Loc{"y.c", 9}) || ins[3].Loc != (Loc{"y.c", 9}) {
+		t.Errorf("pin: %v %v", ins[2].Loc, ins[3].Loc)
+	}
+}
+
+func TestDisassembleContainsPieces(t *testing.T) {
+	b := NewBuilder("demo")
+	flag := b.Global("FLAG")
+	f := b.Func("main", 0)
+	v := f.LoadAddr(flag)
+	f.StoreAddr(flag, v)
+	f.Ret(NoReg)
+	s := b.MustBuild().Disassemble()
+	for _, want := range []string{"program demo", "global FLAG", "func f0 main", "load", "store", "; FLAG"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: OpAtomicCAS, Dst: 3, A: 0, B: 1, C: 2}
+	if got := in.String(); !strings.Contains(got, "cas") || !strings.Contains(got, "r3") {
+		t.Errorf("cas string: %q", got)
+	}
+}

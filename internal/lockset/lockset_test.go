@@ -1,0 +1,168 @@
+package lockset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	u := Universal()
+	if !u.IsUniversal() || u.IsEmpty() || u.Len() != -1 {
+		t.Error("universal set misbehaves")
+	}
+	if !u.Contains(42) {
+		t.Error("universal must contain everything")
+	}
+	e := Empty()
+	if e.IsUniversal() || !e.IsEmpty() || e.Contains(1) {
+		t.Error("empty set misbehaves")
+	}
+	s := FromSlice([]int64{3, 1, 2, 3})
+	if s.Len() != 3 || !s.Contains(1) || !s.Contains(3) || s.Contains(4) {
+		t.Errorf("FromSlice dedup/sort broken: %v", s.Slice())
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := FromSlice([]int64{1, 2, 3})
+	b := FromSlice([]int64{2, 3, 4})
+	got := a.Intersect(b)
+	if got.Len() != 2 || !got.Contains(2) || !got.Contains(3) {
+		t.Errorf("intersect = %v", got.Slice())
+	}
+	if u := Universal().Intersect(a); u.Len() != 3 {
+		t.Error("universal ∩ a must be a")
+	}
+	if u := a.Intersect(Universal()); u.Len() != 3 {
+		t.Error("a ∩ universal must be a")
+	}
+	if e := a.Intersect(Empty()); !e.IsEmpty() {
+		t.Error("a ∩ empty must be empty")
+	}
+}
+
+func TestIntersectProperties(t *testing.T) {
+	f := func(xs, ys []int64) bool {
+		a, b := FromSlice(xs), FromSlice(ys)
+		ab := a.Intersect(b)
+		ba := b.Intersect(a)
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		for _, l := range ab.Slice() {
+			if !a.Contains(l) || !b.Contains(l) || !ba.Contains(l) {
+				return false
+			}
+		}
+		// No member of both is missing.
+		for _, l := range xs {
+			if b.Contains(l) && !ab.Contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeldTracking(t *testing.T) {
+	tr := NewTracker()
+	tr.LockAcquired(1, 100)
+	tr.LockAcquired(1, 200)
+	tr.LockAcquired(1, 100) // re-acquire is idempotent
+	if tr.HeldCount(1) != 2 {
+		t.Errorf("held = %d, want 2", tr.HeldCount(1))
+	}
+	tr.LockReleased(1, 100)
+	if got := tr.Held(1); got.Len() != 1 || !got.Contains(200) {
+		t.Errorf("held = %v", got.Slice())
+	}
+	tr.LockReleased(1, 999) // releasing a non-held lock is a no-op
+	if tr.HeldCount(1) != 1 {
+		t.Error("spurious release changed the set")
+	}
+}
+
+func TestEraserStateMachine(t *testing.T) {
+	tr := NewTracker()
+	const addr = int64(8)
+
+	// Virgin -> Exclusive on first access, no warning.
+	if warn, _ := tr.Access(1, addr, true); warn {
+		t.Error("virgin access warned")
+	}
+	if tr.VarState(addr).State != Exclusive {
+		t.Errorf("state = %v, want exclusive", tr.VarState(addr).State)
+	}
+	// Same-thread accesses stay exclusive.
+	tr.Access(1, addr, true)
+	if tr.VarState(addr).State != Exclusive {
+		t.Error("same-thread access left exclusive")
+	}
+	// Second thread reading (lock-free) moves to Shared: candidates empty
+	// but reads alone never warn.
+	if warn, _ := tr.Access(2, addr, false); warn {
+		t.Error("read by second thread warned")
+	}
+	if tr.VarState(addr).State != Shared {
+		t.Errorf("state = %v, want shared", tr.VarState(addr).State)
+	}
+	// Second thread writing lock-free: SharedModified with empty
+	// candidates -> warning.
+	if warn, cands := tr.Access(2, addr, true); !warn || !cands.IsEmpty() {
+		t.Errorf("expected warning with empty candidates, got warn=%v cands=%v", warn, cands.Slice())
+	}
+}
+
+func TestEraserConsistentLockNoWarning(t *testing.T) {
+	tr := NewTracker()
+	const addr = int64(8)
+	tr.LockAcquired(1, 100)
+	tr.Access(1, addr, true)
+	tr.LockReleased(1, 100)
+	tr.LockAcquired(2, 100)
+	if warn, cands := tr.Access(2, addr, true); warn || !cands.Contains(100) {
+		t.Errorf("consistently locked variable warned: cands=%v", cands.Slice())
+	}
+}
+
+func TestEraserWarnsOnLostDiscipline(t *testing.T) {
+	tr := NewTracker()
+	const addr = int64(8)
+	tr.LockAcquired(1, 100)
+	tr.Access(1, addr, true)
+	tr.LockReleased(1, 100)
+	tr.LockAcquired(2, 200) // different lock
+	// Exclusive -> SharedModified: candidates become {200}; Eraser defers
+	// the warning until the candidate set actually empties.
+	if warn, cands := tr.Access(2, addr, true); warn || cands.IsEmpty() {
+		t.Errorf("premature warning: cands=%v", cands.Slice())
+	}
+	tr.LockReleased(2, 200)
+	tr.LockAcquired(1, 100)
+	if warn, _ := tr.Access(1, addr, true); !warn {
+		t.Error("write with disjoint locksets must warn once candidates empty")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{
+		Virgin: "virgin", Exclusive: "exclusive",
+		Shared: "shared", SharedModified: "shared-modified",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestTrackerBytes(t *testing.T) {
+	tr := NewTracker()
+	tr.LockAcquired(1, 100)
+	tr.Access(1, 8, true)
+	if tr.Bytes() <= 0 {
+		t.Error("Bytes must be positive after activity")
+	}
+}

@@ -1,0 +1,195 @@
+package spin
+
+import (
+	"testing"
+
+	"adhocrace/internal/ir"
+)
+
+// buildParamSpin builds a library-style function that spins on *param0 and
+// a caller passing a known global, optionally through a forwarding wrapper.
+func buildParamSpin(t *testing.T, withWrapper bool) *Instrumentation {
+	t.Helper()
+	b := ir.NewBuilder("t")
+	lockA := b.Global("LOCK_A")
+
+	wait := b.Func("wait_on", 1)
+	zero := wait.Const(0)
+	header := wait.NewBlock()
+	body := wait.NewBlock()
+	exit := wait.NewBlock()
+	wait.Jmp(header)
+	wait.SetBlock(header)
+	v := wait.AtomicLoad(0, "")
+	w := wait.CmpEQ(v, zero)
+	wait.Br(w, body, exit)
+	wait.SetBlock(body)
+	wait.Yield()
+	wait.Jmp(header)
+	wait.SetBlock(exit)
+	wait.Ret(ir.NoReg)
+
+	callee := "wait_on"
+	if withWrapper {
+		wrap := b.Func("wrapper", 1)
+		wrap.Call("wait_on", 0) // forwards its own parameter
+		wrap.Ret(ir.NoReg)
+		callee = "wrapper"
+	}
+
+	m := b.Func("main", 0)
+	a := m.Addr(lockA, "LOCK_A")
+	m.Call(callee, a)
+	m.Ret(ir.NoReg)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(p, 7)
+}
+
+func TestCondParamsDetected(t *testing.T) {
+	ins := buildParamSpin(t, false)
+	if ins.NumLoops() != 1 {
+		t.Fatalf("loops = %d", ins.NumLoops())
+	}
+	l := ins.Loops[0]
+	if len(l.CondParams) != 1 || l.CondParams[0] != 0 {
+		t.Errorf("CondParams = %v, want [0]", l.CondParams)
+	}
+}
+
+func TestInterproceduralSymbolPropagation(t *testing.T) {
+	ins := buildParamSpin(t, false)
+	if !ins.CondSym("LOCK_A") {
+		t.Errorf("caller's symbol not propagated: %v", ins.CondSyms())
+	}
+	if ins.CondSym("OTHER") || ins.CondSym("") {
+		t.Error("unrelated/empty symbols must not be condition symbols")
+	}
+}
+
+func TestTransitivePropagationThroughWrapper(t *testing.T) {
+	ins := buildParamSpin(t, true)
+	if !ins.CondSym("LOCK_A") {
+		t.Errorf("symbol not propagated through the forwarding wrapper: %v", ins.CondSyms())
+	}
+}
+
+func TestNoPropagationThroughRedefinedParam(t *testing.T) {
+	// A wrapper that overwrites its parameter before the call must not
+	// propagate the caller's symbol (the forwarded value is not the
+	// caller's address anymore).
+	b := ir.NewBuilder("t")
+	lockA := b.Global("LOCK_A")
+	other := b.Global("OTHER")
+
+	wait := b.Func("wait_on", 1)
+	zero := wait.Const(0)
+	header := wait.NewBlock()
+	body := wait.NewBlock()
+	exit := wait.NewBlock()
+	wait.Jmp(header)
+	wait.SetBlock(header)
+	v := wait.AtomicLoad(0, "")
+	w := wait.CmpEQ(v, zero)
+	wait.Br(w, body, exit)
+	wait.SetBlock(body)
+	wait.Yield()
+	wait.Jmp(header)
+	wait.SetBlock(exit)
+	wait.Ret(ir.NoReg)
+
+	wrap := b.Func("wrapper", 1)
+	oa := wrap.Addr(other, "OTHER")
+	wrap.MovTo(0, oa) // param redefined: now points at OTHER
+	wrap.Call("wait_on", 0)
+	wrap.Ret(ir.NoReg)
+
+	m := b.Func("main", 0)
+	a := m.Addr(lockA, "LOCK_A")
+	m.Call("wrapper", a)
+	m.Ret(ir.NoReg)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Analyze(p, 7)
+	if ins.CondSym("LOCK_A") {
+		t.Error("symbol propagated through a redefined parameter")
+	}
+}
+
+func TestSpawnAlsoPropagates(t *testing.T) {
+	// Spin-on-parameter through a spawned thread body.
+	b := ir.NewBuilder("t")
+	flag := b.Global("GO")
+	worker := b.Func("worker", 1)
+	zero := worker.Const(0)
+	header := worker.NewBlock()
+	body := worker.NewBlock()
+	exit := worker.NewBlock()
+	worker.Jmp(header)
+	worker.SetBlock(header)
+	v := worker.Load(0, "")
+	w := worker.CmpEQ(v, zero)
+	worker.Br(w, body, exit)
+	worker.SetBlock(body)
+	worker.Yield()
+	worker.Jmp(header)
+	worker.SetBlock(exit)
+	worker.Ret(ir.NoReg)
+
+	m := b.Func("main", 0)
+	a := m.Addr(flag, "GO")
+	tid := m.Spawn("worker", a)
+	one := m.Const(1)
+	m.StoreAddr(flag, one)
+	m.Join(tid)
+	m.Ret(ir.NoReg)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Analyze(p, 7)
+	if !ins.CondSym("GO") {
+		t.Errorf("spawn argument symbol not propagated: %v", ins.CondSyms())
+	}
+}
+
+func TestRMWLoopMarksLockCondParams(t *testing.T) {
+	// A CAS-acquire loop on a parameter is the lock-inference anchor.
+	b := ir.NewBuilder("t")
+	mu := b.Global("MU")
+	lock := b.Func("lock", 1)
+	zero := lock.Const(0)
+	one := lock.Const(1)
+	header := lock.NewBlock()
+	body := lock.NewBlock()
+	exit := lock.NewBlock()
+	lock.Jmp(header)
+	lock.SetBlock(header)
+	ok := lock.CAS(0, zero, one, "")
+	lock.Br(ok, exit, body)
+	lock.SetBlock(body)
+	lock.Yield()
+	lock.Jmp(header)
+	lock.SetBlock(exit)
+	lock.Ret(ir.NoReg)
+
+	m := b.Func("main", 0)
+	a := m.Addr(mu, "MU")
+	m.Call("lock", a)
+	m.Ret(ir.NoReg)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Analyze(p, 7)
+	if ins.NumLoops() != 1 || !ins.Loops[0].HasRMW {
+		t.Fatalf("CAS loop not classified as RMW: %v", ins.Loops)
+	}
+	if !ins.CondSym("MU") {
+		t.Error("lock symbol not propagated")
+	}
+}

@@ -1,0 +1,509 @@
+// Package spin implements the paper's instrumentation phase: identifying
+// spinning read loops in a program and marking the instructions that must be
+// treated specially at run time.
+//
+// A loop qualifies as a spinning read loop when (Jannesari & Tichy, §IV):
+//
+//  1. it is small — at most Window basic blocks (the paper evaluates
+//     windows of 3–8 and settles on 7);
+//  2. its loop condition involves at least one load from memory;
+//  3. the value of the loop condition is not changed inside the loop.
+//
+// The classifier computes the backward slice of every exiting branch
+// condition within the loop body. Criterion 2 requires a memory read in the
+// slice. Criterion 3 is checked two ways: no store in the loop may alias a
+// sliced load (symbol-granular aliasing; an unknown symbol aliases
+// everything), and the slice must be recomputed afresh each iteration — a
+// loop-carried register dependence (i = i+1 style counters) disqualifies
+// the loop. Read-modify-write atomics that are themselves part of the slice
+// (the CAS of a mutex acquire loop) are permitted: they are exactly how
+// library primitives spin.
+//
+// Conditions computed through indirect calls cannot be sliced and the loop
+// is not classified — reproducing the paper's bodytrack/x264 failure mode
+// ("function pointers for condition evaluation ... do not match the spin
+// patterns").
+package spin
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocrace/internal/cfg"
+	"adhocrace/internal/ir"
+)
+
+// DefaultWindow is the basic-block window the paper found best (spin(7)).
+const DefaultWindow = 7
+
+// Site addresses one instruction inside a function.
+type Site struct {
+	Block int
+	Index int
+}
+
+// Loop describes one classified spinning read loop.
+type Loop struct {
+	// ID is the program-wide loop identifier used in runtime events.
+	ID int
+	// Func is the index of the containing function.
+	Func int
+	// Header is the loop header block.
+	Header int
+	// Blocks is the set of blocks in the loop.
+	Blocks map[int]bool
+	// CondLoads are the memory reads feeding the exit conditions.
+	CondLoads []Site
+	// ExitBranches are the conditional branches that leave the loop.
+	ExitBranches []Site
+	// CondSyms are the static symbols the condition reads from (sorted,
+	// deduplicated; may be empty when addresses are computed).
+	CondSyms []string
+	// CondParams lists function parameters whose pointed-to location feeds
+	// the condition: the loop spins on *param. Call sites passing a known
+	// symbol propagate that symbol into the program-wide condition-symbol
+	// set (library primitives receive their lock/flag by address).
+	CondParams []int
+	// HasRMW reports whether the condition involves a read-modify-write
+	// atomic (CAS/fetch-add) — the signature of lock-acquire spins.
+	HasRMW bool
+}
+
+// String renders the loop for diagnostics.
+func (l *Loop) String() string {
+	return fmt.Sprintf("spin#%d(func=%d header=b%d blocks=%d loads=%d syms=%v)",
+		l.ID, l.Func, l.Header, len(l.Blocks), len(l.CondLoads), l.CondSyms)
+}
+
+// Instrumentation is the result of the instrumentation phase over a whole
+// program: the classified loops plus fast lookup tables used by the VM.
+type Instrumentation struct {
+	Window int
+	Loops  []*Loop
+
+	// spinReads maps func -> block -> instr index -> loop id.
+	spinReads map[int]map[int]map[int]int
+	// exitBranches maps func -> block -> loop id (the branch is always the
+	// block terminator).
+	exitBranches map[int]map[int]int
+	// condSyms is the program-wide set of static condition symbols,
+	// including those propagated through call sites of functions that spin
+	// on a parameter.
+	condSyms map[string]bool
+}
+
+// CondSym reports whether the symbol is a condition symbol of any
+// classified loop, directly or through interprocedural propagation.
+func (ins *Instrumentation) CondSym(sym string) bool {
+	return sym != "" && ins.condSyms[sym]
+}
+
+// CondSyms returns the sorted program-wide condition symbols.
+func (ins *Instrumentation) CondSyms() []string {
+	out := make([]string, 0, len(ins.condSyms))
+	for s := range ins.condSyms {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SpinReadLoop returns the loop id instrumenting the given load site, or -1.
+func (ins *Instrumentation) SpinReadLoop(fn, block, idx int) int {
+	if m, ok := ins.spinReads[fn]; ok {
+		if mm, ok := m[block]; ok {
+			if id, ok := mm[idx]; ok {
+				return id
+			}
+		}
+	}
+	return -1
+}
+
+// ExitBranchLoop returns the loop id whose exit branch terminates the given
+// block, or -1.
+func (ins *Instrumentation) ExitBranchLoop(fn, block int) int {
+	if m, ok := ins.exitBranches[fn]; ok {
+		if id, ok := m[block]; ok {
+			return id
+		}
+	}
+	return -1
+}
+
+// LoopContains reports whether the given block belongs to the loop.
+func (ins *Instrumentation) LoopContains(id, block int) bool {
+	if id < 0 || id >= len(ins.Loops) {
+		return false
+	}
+	return ins.Loops[id].Blocks[block]
+}
+
+// NumLoops returns the number of classified loops.
+func (ins *Instrumentation) NumLoops() int { return len(ins.Loops) }
+
+// MarkBytes approximates the extra shadow state the instrumentation carries
+// (loop tables and per-loop marks), for the memory-overhead figure.
+func (ins *Instrumentation) MarkBytes() int64 {
+	var n int64
+	for _, l := range ins.Loops {
+		n += 64 + int64(len(l.Blocks))*16 + int64(len(l.CondLoads)+len(l.ExitBranches))*24
+		for _, s := range l.CondSyms {
+			n += int64(len(s)) + 16
+		}
+	}
+	return n
+}
+
+// Analyze runs the instrumentation phase over a program with the given
+// basic-block window. A window of 0 disables spin detection entirely and
+// returns an empty instrumentation (the "lib" tool configurations).
+func Analyze(p *ir.Program, window int) *Instrumentation {
+	ins := &Instrumentation{
+		Window:       window,
+		spinReads:    make(map[int]map[int]map[int]int),
+		exitBranches: make(map[int]map[int]int),
+		condSyms:     make(map[string]bool),
+	}
+	if window <= 0 {
+		return ins
+	}
+	for _, fn := range p.Funcs {
+		g := cfg.New(fn)
+		for _, nl := range g.NaturalLoops() {
+			if nl.NumBlocks() > window {
+				continue
+			}
+			loop := classify(fn, nl)
+			if loop == nil {
+				continue
+			}
+			loop.ID = len(ins.Loops)
+			loop.Func = fn.Index
+			ins.Loops = append(ins.Loops, loop)
+			ins.index(loop)
+			for _, s := range loop.CondSyms {
+				ins.condSyms[s] = true
+			}
+		}
+	}
+	ins.propagateCondParams(p)
+	return ins
+}
+
+// propagateCondParams pushes condition symbols through call sites: when a
+// function spins on *param, every caller passing a statically known address
+// contributes that address's symbol, and callers forwarding their own
+// parameter propagate transitively.
+func (ins *Instrumentation) propagateCondParams(p *ir.Program) {
+	// marked[f] is the set of parameter indices function f spins on.
+	marked := make(map[int]map[int]bool)
+	for _, l := range ins.Loops {
+		for _, pi := range l.CondParams {
+			m := marked[l.Func]
+			if m == nil {
+				m = make(map[int]bool)
+				marked[l.Func] = m
+			}
+			m[pi] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.Funcs {
+			paramNeverWritten := paramWriteMask(fn)
+			for _, blk := range fn.Blocks {
+				for _, in := range blk.Instrs {
+					if in.Op != ir.OpCall && in.Op != ir.OpSpawn {
+						continue
+					}
+					callee := int(in.Imm)
+					pis := marked[callee]
+					if len(pis) == 0 {
+						continue
+					}
+					for pi := range pis {
+						if pi >= len(in.Args) {
+							continue
+						}
+						arg := in.Args[pi]
+						if sym := constSymOf(fn, arg); sym != "" && !ins.condSyms[sym] {
+							ins.condSyms[sym] = true
+							changed = true
+						}
+						// Forwarded parameter: mark the caller too.
+						if arg < fn.NParams && !paramNeverWritten[arg] {
+							m := marked[fn.Index]
+							if m == nil {
+								m = make(map[int]bool)
+								marked[fn.Index] = m
+							}
+							if !m[arg] {
+								m[arg] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// paramWriteMask reports, per parameter register, whether the function ever
+// redefines it (true = written somewhere, so it no longer holds the caller's
+// address at an arbitrary call site; we propagate conservatively only when
+// untouched).
+func paramWriteMask(fn *ir.Func) []bool {
+	mask := make([]bool, fn.NParams)
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != ir.NoReg && in.Dst < fn.NParams {
+				mask[in.Dst] = true
+			}
+		}
+	}
+	return mask
+}
+
+// constSymOf returns the symbol attached to the constant definition of a
+// register, if the register is defined exactly by symbol-carrying consts.
+func constSymOf(fn *ir.Func, reg int) string {
+	sym := ""
+	for _, blk := range fn.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Dst != reg {
+				continue
+			}
+			if in.Op != ir.OpConst || in.Sym == "" {
+				return ""
+			}
+			if sym != "" && sym != in.Sym {
+				return ""
+			}
+			sym = in.Sym
+		}
+	}
+	return sym
+}
+
+func (ins *Instrumentation) index(l *Loop) {
+	fm := ins.spinReads[l.Func]
+	if fm == nil {
+		fm = make(map[int]map[int]int)
+		ins.spinReads[l.Func] = fm
+	}
+	for _, s := range l.CondLoads {
+		bm := fm[s.Block]
+		if bm == nil {
+			bm = make(map[int]int)
+			fm[s.Block] = bm
+		}
+		bm[s.Index] = l.ID
+	}
+	em := ins.exitBranches[l.Func]
+	if em == nil {
+		em = make(map[int]int)
+		ins.exitBranches[l.Func] = em
+	}
+	for _, s := range l.ExitBranches {
+		em[s.Block] = l.ID
+	}
+}
+
+// flatInstr is one instruction of the flattened loop body.
+type flatInstr struct {
+	site  Site
+	instr ir.Instr
+}
+
+// classify decides whether the natural loop is a spinning read loop and, if
+// so, returns its description (with ID/Func unset).
+func classify(fn *ir.Func, nl *cfg.Loop) *Loop {
+	// Flatten the loop body in ascending block order (a stable, loop-local
+	// program order approximation).
+	blocks := make([]int, 0, len(nl.Blocks))
+	for b := range nl.Blocks {
+		blocks = append(blocks, b)
+	}
+	sort.Ints(blocks)
+	var flat []flatInstr
+	for _, b := range blocks {
+		for i, in := range fn.Blocks[b].Instrs {
+			flat = append(flat, flatInstr{Site{b, i}, in})
+		}
+	}
+
+	// Collect the exit branches: conditional terminators with one target
+	// outside the loop. Loops that exit only via unconditional jumps or
+	// returns have no spin condition.
+	exitFrom := make(map[int]bool)
+	for _, e := range nl.Exits {
+		exitFrom[e[0]] = true
+	}
+	var exits []Site
+	condRegs := make(map[int]bool)
+	for b := range exitFrom {
+		blk := fn.Blocks[b]
+		t := blk.Terminator()
+		if t.Op != ir.OpBr {
+			continue
+		}
+		exits = append(exits, Site{b, len(blk.Instrs) - 1})
+		condRegs[t.A] = true
+	}
+	if len(exits) == 0 {
+		return nil
+	}
+	sort.Slice(exits, func(i, j int) bool {
+		if exits[i].Block != exits[j].Block {
+			return exits[i].Block < exits[j].Block
+		}
+		return exits[i].Index < exits[j].Index
+	})
+
+	// Backward slice of the condition registers within the loop body,
+	// iterated to fixpoint because blocks form a cycle.
+	slice := make(map[int]bool)
+	for r := range condRegs {
+		slice[r] = true
+	}
+	inSlice := make([]bool, len(flat))
+	for changed := true; changed; {
+		changed = false
+		for i := len(flat) - 1; i >= 0; i-- {
+			in := flat[i].instr
+			if in.Dst == ir.NoReg || !slice[in.Dst] {
+				continue
+			}
+			if !inSlice[i] {
+				inSlice[i] = true
+				changed = true
+			}
+			switch in.Op {
+			case ir.OpCall, ir.OpCallIndirect, ir.OpSpawn:
+				// The condition flows through a call: opaque. The paper's
+				// classifier gives up on these loops.
+				return nil
+			}
+			for _, src := range []int{in.A, in.B, in.C} {
+				if src != ir.NoReg && !slice[src] {
+					slice[src] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Criterion 2: at least one memory read in the slice.
+	var condLoads []Site
+	syms := make(map[string]bool)
+	params := make(map[int]bool)
+	hasUnknownSym := false
+	hasRMW := false
+	rmwSites := make(map[Site]bool)
+	pmask := paramWriteMask(fn)
+	for i, fi := range flat {
+		if !inSlice[i] || !fi.instr.Op.IsMemRead() {
+			continue
+		}
+		condLoads = append(condLoads, fi.site)
+		if fi.instr.Sym == "" {
+			hasUnknownSym = true
+		} else {
+			syms[fi.instr.Sym] = true
+		}
+		if a := fi.instr.A; a >= 0 && a < fn.NParams && !pmask[a] {
+			params[a] = true
+		}
+		if fi.instr.Op == ir.OpAtomicCAS || fi.instr.Op == ir.OpAtomicAdd {
+			hasRMW = true
+			rmwSites[fi.site] = true
+		}
+	}
+	if len(condLoads) == 0 {
+		return nil
+	}
+
+	// Criterion 3a: no loop-carried register dependence in the slice. A
+	// slice instruction whose source register's latest in-loop definition
+	// occurs at or after the instruction itself (wrapping around the back
+	// edge) is recomputing from the previous iteration — an induction
+	// variable, not a fresh memory observation.
+	lastDef := make(map[int]int) // reg -> last flat position defining it
+	for i, fi := range flat {
+		if fi.instr.Dst != ir.NoReg {
+			lastDef[fi.instr.Dst] = i
+		}
+	}
+	firstDef := make(map[int]int)
+	for i := len(flat) - 1; i >= 0; i-- {
+		if flat[i].instr.Dst != ir.NoReg {
+			firstDef[flat[i].instr.Dst] = i
+		}
+	}
+	for i, fi := range flat {
+		if !inSlice[i] {
+			continue
+		}
+		for _, src := range []int{fi.instr.A, fi.instr.B, fi.instr.C} {
+			if src == ir.NoReg {
+				continue
+			}
+			fd, defined := firstDef[src]
+			if !defined {
+				continue // defined outside the loop: loop-invariant
+			}
+			if fd >= i {
+				// On this iteration the first definition comes at or after
+				// the use: the value wraps around the back edge. Memory
+				// reads are exempt — the wrapped value was still observed
+				// fresh from memory last iteration.
+				if !flat[fd].instr.Op.IsMemRead() {
+					return nil
+				}
+			}
+		}
+	}
+
+	// Criterion 3b: no write in the loop may alias a condition load,
+	// except RMW atomics that are themselves condition reads (lock-acquire
+	// spins write the word they test).
+	for i, fi := range flat {
+		in := fi.instr
+		if !in.Op.IsMemWrite() {
+			continue
+		}
+		if rmwSites[fi.site] && inSlice[i] {
+			continue
+		}
+		if in.Sym == "" || hasUnknownSym || syms[in.Sym] {
+			return nil
+		}
+	}
+
+	symList := make([]string, 0, len(syms))
+	for s := range syms {
+		symList = append(symList, s)
+	}
+	sort.Strings(symList)
+	paramList := make([]int, 0, len(params))
+	for pi := range params {
+		paramList = append(paramList, pi)
+	}
+	sort.Ints(paramList)
+
+	blocksCopy := make(map[int]bool, len(nl.Blocks))
+	for b := range nl.Blocks {
+		blocksCopy[b] = true
+	}
+	return &Loop{
+		Header:       nl.Header,
+		Blocks:       blocksCopy,
+		CondLoads:    condLoads,
+		ExitBranches: exits,
+		CondSyms:     symList,
+		CondParams:   paramList,
+		HasRMW:       hasRMW,
+	}
+}

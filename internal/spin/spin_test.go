@@ -1,0 +1,398 @@
+package spin
+
+import (
+	"testing"
+
+	"adhocrace/internal/ir"
+)
+
+// plainSpin builds a function with a classic spinning read loop on a global
+// flag, padded to the requested number of basic blocks (>= 2).
+func plainSpin(b *ir.Builder, name string, flag int64, blocks int) {
+	f := b.Func(name, 0)
+	zero := f.Const(0)
+	header := f.NewBlock()
+	pads := make([]int, 0, blocks-2)
+	for i := 0; i < blocks-2; i++ {
+		pads = append(pads, f.NewBlock())
+	}
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	v := f.LoadAddr(flag)
+	waiting := f.CmpEQ(v, zero)
+	next := body
+	if len(pads) > 0 {
+		next = pads[0]
+	}
+	f.Br(waiting, next, exit)
+	for i, p := range pads {
+		f.SetBlock(p)
+		x := f.Const(int64(i))
+		_ = f.Add(x, x)
+		if i+1 < len(pads) {
+			f.Jmp(pads[i+1])
+		} else {
+			f.Jmp(body)
+		}
+	}
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	f.Ret(ir.NoReg)
+}
+
+func analyzeOne(t *testing.T, build func(b *ir.Builder), window int) *Instrumentation {
+	t.Helper()
+	b := ir.NewBuilder("t")
+	build(b)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return Analyze(p, window)
+}
+
+func TestPlainFlagSpinClassified(t *testing.T) {
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		plainSpin(b, "spin", flag, 2)
+	}, 7)
+	if ins.NumLoops() != 1 {
+		t.Fatalf("classified %d loops, want 1", ins.NumLoops())
+	}
+	l := ins.Loops[0]
+	if len(l.CondSyms) != 1 || l.CondSyms[0] != "FLAG" {
+		t.Errorf("cond syms = %v, want [FLAG]", l.CondSyms)
+	}
+	if len(l.CondLoads) != 1 || len(l.ExitBranches) != 1 {
+		t.Errorf("loads=%d exits=%d, want 1/1", len(l.CondLoads), len(l.ExitBranches))
+	}
+	if l.HasRMW {
+		t.Error("plain flag spin must not be flagged RMW")
+	}
+}
+
+func TestWindowBoundary(t *testing.T) {
+	for _, blocks := range []int{2, 3, 5, 7, 8, 9} {
+		ins := analyzeOne(t, func(b *ir.Builder) {
+			flag := b.Global("FLAG")
+			plainSpin(b, "spin", flag, blocks)
+		}, 7)
+		want := 1
+		if blocks > 7 {
+			want = 0
+		}
+		if ins.NumLoops() != want {
+			t.Errorf("blocks=%d window=7: classified %d, want %d", blocks, ins.NumLoops(), want)
+		}
+	}
+}
+
+func TestWindowZeroDisables(t *testing.T) {
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		plainSpin(b, "spin", flag, 2)
+	}, 0)
+	if ins.NumLoops() != 0 {
+		t.Errorf("window 0 classified %d loops", ins.NumLoops())
+	}
+}
+
+func TestCASLoopClassifiedAsRMW(t *testing.T) {
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		lock := b.Global("L")
+		f := b.Func("lock", 0)
+		zero := f.Const(0)
+		one := f.Const(1)
+		a := f.Addr(lock, "L")
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		ok := f.CAS(a, zero, one, "L")
+		f.Br(ok, exit, body)
+		f.SetBlock(body)
+		f.Yield()
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 1 {
+		t.Fatalf("CAS spin not classified")
+	}
+	if !ins.Loops[0].HasRMW {
+		t.Error("CAS spin must be flagged RMW")
+	}
+}
+
+func TestCountingLoopRejected(t *testing.T) {
+	// for (i = 0; i < n; i++) sum += a[i] — condition involves an
+	// induction variable; must not classify even though the body loads.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		arr := b.GlobalArray("A", 8)
+		f := b.Func("sum", 0)
+		zero := f.Const(0)
+		one := f.Const(1)
+		n := f.Const(8)
+		i := f.Mov(zero)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		c := f.CmpLT(i, n)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		_ = f.LoadIdx(arr, i, "A")
+		f.BinTo(ir.OpAdd, i, i, one)
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("counting loop classified as spin: %v", ins.Loops)
+	}
+}
+
+func TestScanningLoopRejected(t *testing.T) {
+	// while (a[i] != 0) i++ — the condition loads memory but depends on
+	// an induction variable.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		arr := b.GlobalArray("A", 8)
+		f := b.Func("scan", 0)
+		zero := f.Const(0)
+		one := f.Const(1)
+		i := f.Mov(zero)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		v := f.LoadIdx(arr, i, "A")
+		c := f.CmpNE(v, zero)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		f.BinTo(ir.OpAdd, i, i, one)
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("scanning loop classified as spin: %v", ins.Loops)
+	}
+}
+
+func TestStoreToConditionRejected(t *testing.T) {
+	// while (flag == 0) { flag = compute(); } — condition written inside.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		f := b.Func("bad", 0)
+		zero := f.Const(0)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		v := f.LoadAddr(flag)
+		c := f.CmpEQ(v, zero)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		f.StoreAddr(flag, zero)
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("self-writing loop classified: %v", ins.Loops)
+	}
+}
+
+func TestUnrelatedStoreAllowed(t *testing.T) {
+	// while (flag == 0) { stats++ } — store to a different symbol is fine.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		stats := b.Global("STATS")
+		f := b.Func("spinstat", 0)
+		zero := f.Const(0)
+		one := f.Const(1)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		v := f.LoadAddr(flag)
+		c := f.CmpEQ(v, zero)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		s := f.LoadAddr(stats)
+		s1 := f.Add(s, one)
+		f.StoreAddr(stats, s1)
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 1 {
+		t.Errorf("spin with unrelated store not classified")
+	}
+}
+
+func TestUnknownStoreSymbolRejected(t *testing.T) {
+	// A store through a computed pointer may alias the condition.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		f := b.Func("aliased", 1)
+		zero := f.Const(0)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		v := f.LoadAddr(flag)
+		c := f.CmpEQ(v, zero)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		f.Store(0, zero, "") // unknown target: could be FLAG
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("possibly-aliasing store not rejected")
+	}
+}
+
+func TestIndirectCallConditionRejected(t *testing.T) {
+	// while (!check()) via function pointer — the bodytrack pathology.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		chk := b.Func("check", 0)
+		v := chk.LoadAddr(flag)
+		chk.Ret(v)
+		f := b.Func("fpspin", 0)
+		fp := f.FuncIndex("check")
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		r := f.CallIndirect(fp)
+		f.Br(r, exit, body)
+		f.SetBlock(body)
+		f.Yield()
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("function-pointer condition classified: %v", ins.Loops)
+	}
+}
+
+func TestDirectCallConditionRejected(t *testing.T) {
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		flag := b.Global("FLAG")
+		chk := b.Func("check", 0)
+		v := chk.LoadAddr(flag)
+		chk.Ret(v)
+		f := b.Func("callspin", 0)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		r := f.Call("check")
+		f.Br(r, exit, body)
+		f.SetBlock(body)
+		f.Yield()
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("call-in-condition classified: %v", ins.Loops)
+	}
+}
+
+func TestNoMemoryConditionRejected(t *testing.T) {
+	// A pure register loop (no loads) is not a spinning *read* loop.
+	ins := analyzeOne(t, func(b *ir.Builder) {
+		f := b.Func("regloop", 0)
+		zero := f.Const(0)
+		one := f.Const(1)
+		limit := f.Const(100)
+		i := f.Mov(zero)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		c := f.CmpLT(i, limit)
+		f.Br(c, body, exit)
+		f.SetBlock(body)
+		f.BinTo(ir.OpAdd, i, i, one)
+		f.Jmp(header)
+		f.SetBlock(exit)
+		f.Ret(ir.NoReg)
+	}, 7)
+	if ins.NumLoops() != 0 {
+		t.Errorf("register loop classified: %v", ins.Loops)
+	}
+}
+
+func TestLookupTables(t *testing.T) {
+	b := ir.NewBuilder("t")
+	flag := b.Global("FLAG")
+	plainSpin(b, "spin", flag, 2)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Analyze(p, 7)
+	if ins.NumLoops() != 1 {
+		t.Fatal("want one loop")
+	}
+	l := ins.Loops[0]
+	cl := l.CondLoads[0]
+	if got := ins.SpinReadLoop(l.Func, cl.Block, cl.Index); got != l.ID {
+		t.Errorf("SpinReadLoop = %d, want %d", got, l.ID)
+	}
+	if got := ins.SpinReadLoop(l.Func, cl.Block, cl.Index+1); got != -1 {
+		t.Errorf("SpinReadLoop off-by-one hit: %d", got)
+	}
+	eb := l.ExitBranches[0]
+	if got := ins.ExitBranchLoop(l.Func, eb.Block); got != l.ID {
+		t.Errorf("ExitBranchLoop = %d, want %d", got, l.ID)
+	}
+	if !ins.LoopContains(l.ID, l.Header) {
+		t.Error("LoopContains(header) = false")
+	}
+	if ins.LoopContains(l.ID, 99) {
+		t.Error("LoopContains(99) = true")
+	}
+	if ins.MarkBytes() <= 0 {
+		t.Error("MarkBytes must be positive with loops present")
+	}
+}
+
+func TestMultipleLoopsGetDistinctIDs(t *testing.T) {
+	b := ir.NewBuilder("t")
+	f1 := b.Global("F1")
+	f2 := b.Global("F2")
+	plainSpin(b, "s1", f1, 2)
+	plainSpin(b, "s2", f2, 3)
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := Analyze(p, 7)
+	if ins.NumLoops() != 2 {
+		t.Fatalf("classified %d loops, want 2", ins.NumLoops())
+	}
+	if ins.Loops[0].ID == ins.Loops[1].ID {
+		t.Error("loop ids must be distinct")
+	}
+}

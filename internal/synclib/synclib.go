@@ -1,0 +1,532 @@
+// Package synclib provides IR implementations of the synchronization
+// primitives the workloads use: mutexes, condition variables, barriers,
+// semaphores, reader/writer locks, once guards, and two task queues.
+//
+// Every blocking primitive is ultimately implemented with a spinning read
+// loop — the paper's central observation ("synchronization operations are
+// ultimately implemented by spinning read loops"). A detector that knows
+// the library intercepts the calls and never sees the internals; the
+// universal detector (nolib+spin) sees the raw loops and recognizes them
+// through the spin instrumentation.
+//
+// Install creates one family of primitives under a library tag (pthread,
+// glib, omp); function names are prefixed accordingly (pthread_mutex_lock,
+// g_mutex_lock, omp_set_lock ...). The package also installs two
+// deliberately hard primitives used to reproduce the paper's residual false
+// positives:
+//
+//   - evt_wait: a kernel-event-style wait whose loop condition is evaluated
+//     through a function pointer — the spin classifier cannot slice it;
+//   - ec_wait: a retry-counted wait whose loop condition involves an
+//     induction variable — the classifier rejects it (condition changes
+//     inside the loop);
+//   - the "obscure ring queue" (rq_put/rq_get): a lock-free claim queue
+//     whose exit dependency runs through the head pointer, so the inferred
+//     edge misses the producer — the paper's "obscure implementation of
+//     task queue" failure mode.
+package synclib
+
+import (
+	"adhocrace/internal/ir"
+)
+
+// Lib is one installed primitive family.
+type Lib struct {
+	B      *ir.Builder
+	Tag    ir.LibTag
+	Prefix string
+}
+
+// Install adds the primitive family for the given library tag to the
+// builder and returns a handle for emitting calls.
+func Install(b *ir.Builder, tag ir.LibTag) *Lib {
+	prefix := map[ir.LibTag]string{
+		ir.LibPthread: "pthread_",
+		ir.LibGlib:    "g_",
+		ir.LibOMP:     "omp_",
+	}[tag]
+	if prefix == "" {
+		prefix = "user_"
+	}
+	l := &Lib{B: b, Tag: tag, Prefix: prefix}
+	l.buildMutex()
+	l.buildCond()
+	l.buildBarrier()
+	l.buildSem()
+	l.buildRWLock()
+	l.buildOnce()
+	if tag == ir.LibPthread {
+		l.buildEvent()
+		l.buildEventCount()
+	}
+	return l
+}
+
+// Name returns the prefixed name of a primitive.
+func (l *Lib) Name(base string) string { return l.Prefix + base }
+
+// buildMutex: lock = CAS spin loop, unlock = atomic store of 0.
+func (l *Lib) buildMutex() {
+	f := l.B.LibFunc(l.Name("mutex_lock"), 1, l.Tag, ir.SyncMutexLock)
+	f.SetLoc(l.Name("mutex.c"), 10)
+	zero := f.Const(0)
+	one := f.Const(1)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	ok := f.CAS(0, zero, one, "")
+	f.Br(ok, exit, body)
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	f.Ret(ir.NoReg)
+
+	g := l.B.LibFunc(l.Name("mutex_unlock"), 1, l.Tag, ir.SyncMutexUnlock)
+	g.SetLoc(l.Name("mutex.c"), 40)
+	z := g.Const(0)
+	g.AtomicStore(0, z, "")
+	g.Ret(ir.NoReg)
+}
+
+// buildCond: the condition variable is a sequence counter. Signal bumps it
+// atomically; wait snapshots it, releases the mutex, spins until it moves,
+// and re-acquires the mutex. Callers must signal while holding the mutex or
+// wakeups can be lost — exactly the pthread contract for predictable use.
+func (l *Lib) buildCond() {
+	f := l.B.LibFunc(l.Name("cond_signal"), 1, l.Tag, ir.SyncCondSignal)
+	f.SetLoc(l.Name("cond.c"), 10)
+	one := f.Const(1)
+	f.AtomicAdd(0, one, "")
+	f.Ret(ir.NoReg)
+
+	// cond_wait(cv, mutex)
+	w := l.B.LibFunc(l.Name("cond_wait"), 2, l.Tag, ir.SyncCondWait)
+	w.SetLoc(l.Name("cond.c"), 30)
+	g0 := w.AtomicLoad(0, "")
+	w.Call(l.Name("mutex_unlock"), 1)
+	header := w.NewBlock()
+	body := w.NewBlock()
+	exit := w.NewBlock()
+	w.Jmp(header)
+	w.SetBlock(header)
+	g := w.AtomicLoad(0, "")
+	moved := w.CmpNE(g, g0)
+	w.Br(moved, exit, body)
+	w.SetBlock(body)
+	w.Yield()
+	w.Jmp(header)
+	w.SetBlock(exit)
+	w.Call(l.Name("mutex_lock"), 1)
+	w.Ret(ir.NoReg)
+}
+
+// buildBarrier: barrier_wait(counter, n) — a single-use central barrier.
+// Arrival is an atomic fetch-add (its release sequence accumulates every
+// arriver's clock); everyone then spins until the counter reaches n.
+func (l *Lib) buildBarrier() {
+	f := l.B.LibFunc(l.Name("barrier_wait"), 2, l.Tag, ir.SyncBarrierWait)
+	f.SetLoc(l.Name("barrier.c"), 10)
+	one := f.Const(1)
+	f.AtomicAdd(0, one, "")
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	v := f.AtomicLoad(0, "")
+	ne := f.CmpNE(v, 1)
+	f.Br(ne, body, exit)
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	f.Ret(ir.NoReg)
+}
+
+// buildSem: post = fetch-add(+1); wait = claim loop (load, test, CAS down).
+func (l *Lib) buildSem() {
+	f := l.B.LibFunc(l.Name("sem_post"), 1, l.Tag, ir.SyncSemPost)
+	f.SetLoc(l.Name("sem.c"), 10)
+	one := f.Const(1)
+	f.AtomicAdd(0, one, "")
+	f.Ret(ir.NoReg)
+
+	w := l.B.LibFunc(l.Name("sem_wait"), 1, l.Tag, ir.SyncSemWait)
+	w.SetLoc(l.Name("sem.c"), 30)
+	zero := w.Const(0)
+	one2 := w.Const(1)
+	header := w.NewBlock()
+	try := w.NewBlock()
+	body := w.NewBlock()
+	exit := w.NewBlock()
+	w.Jmp(header)
+	w.SetBlock(header)
+	v := w.AtomicLoad(0, "")
+	pos := w.CmpGT(v, zero)
+	w.Br(pos, try, body)
+	w.SetBlock(try)
+	dec := w.Sub(v, one2)
+	ok := w.CAS(0, v, dec, "")
+	w.Br(ok, exit, body)
+	w.SetBlock(body)
+	w.Yield()
+	w.Jmp(header)
+	w.SetBlock(exit)
+	w.Ret(ir.NoReg)
+}
+
+// buildRWLock: one word — 0 free, -1 writer, k>0 readers.
+func (l *Lib) buildRWLock() {
+	rd := l.B.LibFunc(l.Name("rwlock_rdlock"), 1, l.Tag, ir.SyncRWLockRd)
+	rd.SetLoc(l.Name("rwlock.c"), 10)
+	zero := rd.Const(0)
+	one := rd.Const(1)
+	header := rd.NewBlock()
+	try := rd.NewBlock()
+	body := rd.NewBlock()
+	exit := rd.NewBlock()
+	rd.Jmp(header)
+	rd.SetBlock(header)
+	v := rd.AtomicLoad(0, "")
+	free := rd.CmpGE(v, zero)
+	rd.Br(free, try, body)
+	rd.SetBlock(try)
+	inc := rd.Add(v, one)
+	ok := rd.CAS(0, v, inc, "")
+	rd.Br(ok, exit, body)
+	rd.SetBlock(body)
+	rd.Yield()
+	rd.Jmp(header)
+	rd.SetBlock(exit)
+	rd.Ret(ir.NoReg)
+
+	wr := l.B.LibFunc(l.Name("rwlock_wrlock"), 1, l.Tag, ir.SyncRWLockWr)
+	wr.SetLoc(l.Name("rwlock.c"), 40)
+	z := wr.Const(0)
+	neg := wr.Const(-1)
+	h2 := wr.NewBlock()
+	b2 := wr.NewBlock()
+	e2 := wr.NewBlock()
+	wr.Jmp(h2)
+	wr.SetBlock(h2)
+	ok2 := wr.CAS(0, z, neg, "")
+	wr.Br(ok2, e2, b2)
+	wr.SetBlock(b2)
+	wr.Yield()
+	wr.Jmp(h2)
+	wr.SetBlock(e2)
+	wr.Ret(ir.NoReg)
+
+	ru := l.B.LibFunc(l.Name("rwlock_rdunlock"), 1, l.Tag, ir.SyncRWUnlock)
+	ru.SetLoc(l.Name("rwlock.c"), 70)
+	m1 := ru.Const(-1)
+	ru.AtomicAdd(0, m1, "")
+	ru.Ret(ir.NoReg)
+
+	wu := l.B.LibFunc(l.Name("rwlock_wrunlock"), 1, l.Tag, ir.SyncRWUnlock)
+	wu.SetLoc(l.Name("rwlock.c"), 80)
+	z2 := wu.Const(0)
+	wu.AtomicStore(0, z2, "")
+	wu.Ret(ir.NoReg)
+}
+
+// buildOnce: once_enter(o) returns 1 to the thread that must run the
+// initializer (others wait until once_done). States: 0 fresh, 1 running,
+// 2 done.
+func (l *Lib) buildOnce() {
+	f := l.B.LibFunc(l.Name("once_enter"), 1, l.Tag, ir.SyncOnceEnter)
+	f.SetLoc(l.Name("once.c"), 10)
+	zero := f.Const(0)
+	one := f.Const(1)
+	two := f.Const(2)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	winner := f.NewBlock()
+	won := f.CAS(0, zero, one, "")
+	f.Br(won, winner, header)
+	f.SetBlock(winner)
+	f.Ret(won)
+	f.SetBlock(header)
+	v := f.AtomicLoad(0, "")
+	done := f.CmpEQ(v, two)
+	f.Br(done, exit, body)
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	z := f.Const(0)
+	f.Ret(z)
+
+	g := l.B.LibFunc(l.Name("once_done"), 1, l.Tag, ir.SyncCondSignal)
+	g.SetLoc(l.Name("once.c"), 40)
+	two2 := g.Const(2)
+	g.AtomicStore(0, two2, "")
+	g.Ret(ir.NoReg)
+}
+
+// buildEvent: a kernel-assisted event object whose wait loop evaluates its
+// condition through a function pointer. Known libraries intercept it; the
+// universal detector cannot classify the loop (indirect call in the slice).
+func (l *Lib) buildEvent() {
+	chk := l.B.Func(l.Name("evt_check"), 1)
+	chk.Fn().Lib = l.Tag // internal helper, hidden under interception
+	chk.SetLoc(l.Name("event.c"), 5)
+	v := chk.AtomicLoad(0, "")
+	chk.Ret(v)
+
+	set := l.B.LibFunc(l.Name("evt_set"), 1, l.Tag, ir.SyncSemPost)
+	set.SetLoc(l.Name("event.c"), 10)
+	one := set.Const(1)
+	set.AtomicStore(0, one, "")
+	set.Ret(ir.NoReg)
+
+	w := l.B.LibFunc(l.Name("evt_wait"), 1, l.Tag, ir.SyncSemWait)
+	w.SetLoc(l.Name("event.c"), 20)
+	fp := w.FuncIndex(l.Name("evt_check"))
+	header := w.NewBlock()
+	body := w.NewBlock()
+	exit := w.NewBlock()
+	w.Jmp(header)
+	w.SetBlock(header)
+	r := w.CallIndirect(fp, 0)
+	w.Br(r, exit, body)
+	w.SetBlock(body)
+	w.Yield()
+	w.Jmp(header)
+	w.SetBlock(exit)
+	w.Ret(ir.NoReg)
+}
+
+// buildEventCount: a retry-counted wait. The loop condition involves the
+// retry counter — an induction variable — so the classifier rejects the
+// loop ("the value of the loop condition is not changed inside the loop"
+// fails). Known libraries intercept it; the universal detector cannot.
+func (l *Lib) buildEventCount() {
+	set := l.B.LibFunc(l.Name("ec_set"), 1, l.Tag, ir.SyncSemPost)
+	set.SetLoc(l.Name("eventcount.c"), 10)
+	one := set.Const(1)
+	set.AtomicStore(0, one, "")
+	set.Ret(ir.NoReg)
+
+	w := l.B.LibFunc(l.Name("ec_wait"), 1, l.Tag, ir.SyncSemWait)
+	w.SetLoc(l.Name("eventcount.c"), 20)
+	zero := w.Const(0)
+	one2 := w.Const(1)
+	limit := w.Const(1 << 40)
+	n := w.Mov(zero)
+	header := w.NewBlock()
+	body := w.NewBlock()
+	exit := w.NewBlock()
+	w.Jmp(header)
+	w.SetBlock(header)
+	v := w.AtomicLoad(0, "")
+	unset := w.CmpEQ(v, zero)
+	patient := w.CmpLT(n, limit)
+	both := w.Bin(ir.OpAnd, unset, patient)
+	w.Br(both, body, exit)
+	w.SetBlock(body)
+	w.BinTo(ir.OpAdd, n, n, one2)
+	w.Yield()
+	w.Jmp(header)
+	w.SetBlock(exit)
+	w.Ret(ir.NoReg)
+}
+
+// Queue is a condvar-based bounded task queue occupying a block of global
+// memory: [mutex, cond, head, tail, slots...]. It is application-level code
+// (never intercepted); it is race-free because every access happens under
+// the mutex, and detectors order it through the library primitives it uses.
+type Queue struct {
+	Lib   *Lib
+	Cap   int
+	Mutex int64
+	Cond  int64
+	Head  int64
+	Tail  int64
+	Slots int64
+}
+
+// NewQueue allocates the queue's globals and builds its put/get functions,
+// uniquely named with the given tag.
+func NewQueue(l *Lib, tag string, capacity int) *Queue {
+	b := l.B
+	q := &Queue{
+		Lib:   l,
+		Cap:   capacity,
+		Mutex: b.Global(tag + ".mutex"),
+		Cond:  b.Global(tag + ".cond"),
+		Head:  b.Global(tag + ".head"),
+		Tail:  b.Global(tag + ".tail"),
+		Slots: b.GlobalArray(tag+".slots", capacity),
+	}
+
+	put := b.Func(tag+"_put", 1)
+	put.SetLoc(tag+".c", 10)
+	m := put.Addr(q.Mutex, tag+".mutex")
+	put.Call(l.Name("mutex_lock"), m)
+	t := put.LoadAddr(q.Tail)
+	capr := put.Const(int64(capacity))
+	idx := put.Bin(ir.OpMod, t, capr)
+	put.StoreIdx(q.Slots, idx, 0, tag+".slots")
+	one := put.Const(1)
+	t1 := put.Add(t, one)
+	put.StoreAddr(q.Tail, t1)
+	cv := put.Addr(q.Cond, tag+".cond")
+	put.Call(l.Name("cond_signal"), cv)
+	put.Call(l.Name("mutex_unlock"), m)
+	put.Ret(ir.NoReg)
+
+	get := b.Func(tag+"_get", 0)
+	get.SetLoc(tag+".c", 30)
+	m2 := get.Addr(q.Mutex, tag+".mutex")
+	cv2 := get.Addr(q.Cond, tag+".cond")
+	get.Call(l.Name("mutex_lock"), m2)
+	header := get.NewBlock()
+	body := get.NewBlock()
+	exit := get.NewBlock()
+	get.Jmp(header)
+	get.SetBlock(header)
+	h := get.LoadAddr(q.Head)
+	tl := get.LoadAddr(q.Tail)
+	empty := get.CmpGE(h, tl)
+	get.Br(empty, body, exit)
+	get.SetBlock(body)
+	get.Call(l.Name("cond_wait"), cv2, m2)
+	get.Jmp(header)
+	get.SetBlock(exit)
+	capr2 := get.Const(int64(capacity))
+	idx2 := get.Bin(ir.OpMod, h, capr2)
+	v := get.LoadIdx(q.Slots, idx2, tag+".slots")
+	one2 := get.Const(1)
+	h1 := get.Add(h, one2)
+	get.StoreAddr(q.Head, h1)
+	get.Call(l.Name("mutex_unlock"), m2)
+	get.Ret(v)
+	return q
+}
+
+// Put emits a call pushing the value in reg onto the queue.
+func (q *Queue) Put(f *ir.FuncBuilder, tag string, reg int) {
+	f.Call(tag+"_put", reg)
+}
+
+// Get emits a call popping a value; returns the result register.
+func (q *Queue) Get(f *ir.FuncBuilder, tag string) int {
+	return f.Call(tag + "_get")
+}
+
+// RingQueue is the "obscure" lock-free claim queue: a single producer
+// stores into slots and bumps the tail; consumers spin until head < tail
+// and claim an index with a CAS on the head. The spin classifier matches
+// the claim loop, but the dependency it infers runs through the head
+// pointer (the last condition read before the exit), missing the
+// producer→consumer edge through the tail — so detectors report the slot
+// transfers as races. This reproduces the paper's residual false positives
+// on programs with obscure task queues (ferret, x264).
+type RingQueue struct {
+	Cap   int
+	Head  int64
+	Tail  int64
+	Slots int64
+}
+
+// NewRingQueue allocates the queue's globals and builds rq_put/rq_get
+// functions named with the given tag.
+func NewRingQueue(b *ir.Builder, tag string, capacity int) *RingQueue {
+	q := &RingQueue{
+		Cap:   capacity,
+		Head:  b.Global(tag + ".head"),
+		Tail:  b.Global(tag + ".tail"),
+		Slots: b.GlobalArray(tag+".slots", capacity),
+	}
+
+	put := b.Func(tag+"_put", 1)
+	put.SetLoc(tag+".c", 10)
+	t := put.LoadAddr(q.Tail)
+	capr := put.Const(int64(capacity))
+	idx := put.Bin(ir.OpMod, t, capr)
+	put.StoreIdx(q.Slots, idx, 0, tag+".slots")
+	one := put.Const(1)
+	t1 := put.Add(t, one)
+	put.StoreAddr(q.Tail, t1)
+	put.Ret(ir.NoReg)
+
+	get := b.Func(tag+"_get", 0)
+	get.SetLoc(tag+".c", 30)
+	one2 := get.Const(1)
+	ha := get.Addr(q.Head, tag+".head")
+	ta := get.Addr(q.Tail, tag+".tail")
+	header := get.NewBlock()
+	try := get.NewBlock()
+	wait := get.NewBlock()
+	done := get.NewBlock()
+	get.Jmp(header)
+	get.SetBlock(header)
+	h := get.Load(ha, tag+".head")
+	tl := get.Load(ta, tag+".tail")
+	avail := get.CmpLT(h, tl)
+	get.Br(avail, try, wait)
+	get.SetBlock(try)
+	h1 := get.Add(h, one2)
+	ok := get.CAS(ha, h, h1, tag+".head")
+	get.Br(ok, done, header)
+	get.SetBlock(wait)
+	get.Yield()
+	get.Jmp(header)
+	get.SetBlock(done)
+	capr2 := get.Const(int64(capacity))
+	idx2 := get.Bin(ir.OpMod, h, capr2)
+	v := get.LoadIdx(q.Slots, idx2, tag+".slots")
+	get.Ret(v)
+	return q
+}
+
+// Helpers for workload builders ---------------------------------------------
+
+// Lock emits a mutex_lock call on the global mutex address.
+func (l *Lib) Lock(f *ir.FuncBuilder, mutex int64, sym string) {
+	a := f.Addr(mutex, sym)
+	f.Call(l.Name("mutex_lock"), a)
+}
+
+// Unlock emits a mutex_unlock call.
+func (l *Lib) Unlock(f *ir.FuncBuilder, mutex int64, sym string) {
+	a := f.Addr(mutex, sym)
+	f.Call(l.Name("mutex_unlock"), a)
+}
+
+// Signal emits a cond_signal call.
+func (l *Lib) Signal(f *ir.FuncBuilder, cond int64, sym string) {
+	a := f.Addr(cond, sym)
+	f.Call(l.Name("cond_signal"), a)
+}
+
+// Wait emits a cond_wait call.
+func (l *Lib) Wait(f *ir.FuncBuilder, cond, mutex int64, csym, msym string) {
+	c := f.Addr(cond, csym)
+	m := f.Addr(mutex, msym)
+	f.Call(l.Name("cond_wait"), c, m)
+}
+
+// Barrier emits a barrier_wait call on the given counter for n parties.
+func (l *Lib) Barrier(f *ir.FuncBuilder, counter int64, sym string, n int) {
+	a := f.Addr(counter, sym)
+	nn := f.Const(int64(n))
+	f.Call(l.Name("barrier_wait"), a, nn)
+}
+
+// SemPost emits a sem_post call.
+func (l *Lib) SemPost(f *ir.FuncBuilder, sem int64, sym string) {
+	a := f.Addr(sem, sym)
+	f.Call(l.Name("sem_post"), a)
+}
+
+// SemWait emits a sem_wait call.
+func (l *Lib) SemWait(f *ir.FuncBuilder, sem int64, sym string) {
+	a := f.Addr(sem, sym)
+	f.Call(l.Name("sem_wait"), a)
+}

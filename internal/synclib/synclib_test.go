@@ -1,0 +1,299 @@
+package synclib
+
+import (
+	"fmt"
+	"testing"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/spin"
+	"adhocrace/internal/vm"
+)
+
+// harness builds a program exercising one primitive and runs it raw.
+func runProgram(t *testing.T, p *ir.Program, seed int64) vm.Result {
+	t.Helper()
+	res, err := vm.Run(p, vm.Options{Seed: seed})
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res
+}
+
+func TestMutexMutualExclusion(t *testing.T) {
+	// 4 threads × 50 unprotected-looking increments under the mutex must
+	// total exactly 200 under every seed: the CAS loop really excludes.
+	build := func() *ir.Program {
+		b := ir.NewBuilder("mutex")
+		lib := Install(b, ir.LibPthread)
+		mu := b.Global("MU")
+		ctr := b.Global("CTR")
+		names := make([]string, 4)
+		for i := range names {
+			names[i] = fmt.Sprintf("w%d", i)
+			f := b.Func(names[i], 0)
+			zero := f.Const(0)
+			one := f.Const(1)
+			fifty := f.Const(50)
+			iv := f.Mov(zero)
+			header := f.NewBlock()
+			body := f.NewBlock()
+			exit := f.NewBlock()
+			f.Jmp(header)
+			f.SetBlock(header)
+			c := f.CmpLT(iv, fifty)
+			f.Br(c, body, exit)
+			f.SetBlock(body)
+			lib.Lock(f, mu, "MU")
+			v := f.LoadAddr(ctr)
+			f.StoreAddr(ctr, f.Add(v, one))
+			lib.Unlock(f, mu, "MU")
+			f.BinTo(ir.OpAdd, iv, iv, one)
+			f.Jmp(header)
+			f.SetBlock(exit)
+			f.Ret(ir.NoReg)
+		}
+		m := b.Func("main", 0)
+		tids := make([]int, 4)
+		for i, n := range names {
+			tids[i] = m.Spawn(n)
+		}
+		for _, tid := range tids {
+			m.Join(tid)
+		}
+		m.Ret(ir.NoReg)
+		return b.MustBuild()
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		res := runProgram(t, build(), seed)
+		if got := res.Memory(8); got != 200 {
+			t.Errorf("seed %d: CTR = %d, want 200 (mutual exclusion violated)", seed, got)
+		}
+	}
+}
+
+func TestBarrierBlocksUntilAllArrive(t *testing.T) {
+	// Each thread writes its cell, barriers, then sums all cells: every
+	// thread must observe all writes.
+	const n = 4
+	build := func() *ir.Program {
+		b := ir.NewBuilder("barrier")
+		lib := Install(b, ir.LibPthread)
+		bar := b.Global("BAR")
+		cells := b.GlobalArray("CELLS", n)
+		sums := b.GlobalArray("SUMS", n)
+		for i := 0; i < n; i++ {
+			f := b.Func(fmt.Sprintf("w%d", i), 0)
+			one := f.Const(1)
+			idx := f.Const(int64(i))
+			f.StoreIdx(cells, idx, one, "CELLS")
+			lib.Barrier(f, bar, "BAR", n)
+			sum := f.Const(0)
+			for k := 0; k < n; k++ {
+				kidx := f.Const(int64(k))
+				v := f.LoadIdx(cells, kidx, "CELLS")
+				sum = f.Add(sum, v)
+			}
+			sidx := f.Const(int64(i))
+			f.StoreIdx(sums, sidx, sum, "SUMS")
+			f.Ret(ir.NoReg)
+		}
+		m := b.Func("main", 0)
+		tids := make([]int, n)
+		for i := 0; i < n; i++ {
+			tids[i] = m.Spawn(fmt.Sprintf("w%d", i))
+		}
+		for _, tid := range tids {
+			m.Join(tid)
+		}
+		m.Ret(ir.NoReg)
+		return b.MustBuild()
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		res := runProgram(t, build(), seed)
+		for i := 0; i < n; i++ {
+			if got := res.Memory(8 + int64(n)*8 + int64(i)*8); got != n {
+				t.Errorf("seed %d: thread %d saw sum %d, want %d", seed, i, got, n)
+			}
+		}
+	}
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	// Two posts allow exactly two waits; the value ends at zero.
+	b := ir.NewBuilder("sem")
+	lib := Install(b, ir.LibPthread)
+	sem := b.Global("SEM")
+	poster := b.Func("poster", 0)
+	lib.SemPost(poster, sem, "SEM")
+	lib.SemPost(poster, sem, "SEM")
+	poster.Ret(ir.NoReg)
+	waiter := b.Func("waiter", 0)
+	lib.SemWait(waiter, sem, "SEM")
+	lib.SemWait(waiter, sem, "SEM")
+	waiter.Ret(ir.NoReg)
+	m := b.Func("main", 0)
+	t1 := m.Spawn("poster")
+	t2 := m.Spawn("waiter")
+	m.Join(t1)
+	m.Join(t2)
+	m.Ret(ir.NoReg)
+	res := runProgram(t, b.MustBuild(), 3)
+	if got := res.Memory(0); got != 0 {
+		t.Errorf("SEM = %d, want 0", got)
+	}
+}
+
+func TestOnceRunsInitializerExactlyOnce(t *testing.T) {
+	const n = 6
+	build := func() *ir.Program {
+		b := ir.NewBuilder("once")
+		lib := Install(b, ir.LibPthread)
+		once := b.Global("ONCE")
+		inits := b.Global("INITS")
+		for i := 0; i < n; i++ {
+			f := b.Func(fmt.Sprintf("w%d", i), 0)
+			oa := f.Addr(once, "ONCE")
+			won := f.Call(lib.Name("once_enter"), oa)
+			di := f.NewBlock()
+			after := f.NewBlock()
+			f.Br(won, di, after)
+			f.SetBlock(di)
+			one := f.Const(1)
+			v := f.LoadAddr(inits)
+			f.StoreAddr(inits, f.Add(v, one))
+			oa2 := f.Addr(once, "ONCE")
+			f.Call(lib.Name("once_done"), oa2)
+			f.Jmp(after)
+			f.SetBlock(after)
+			f.Ret(ir.NoReg)
+		}
+		m := b.Func("main", 0)
+		tids := make([]int, n)
+		for i := 0; i < n; i++ {
+			tids[i] = m.Spawn(fmt.Sprintf("w%d", i))
+		}
+		for _, tid := range tids {
+			m.Join(tid)
+		}
+		m.Ret(ir.NoReg)
+		return b.MustBuild()
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		res := runProgram(t, build(), seed)
+		if got := res.Memory(8); got != 1 {
+			t.Errorf("seed %d: INITS = %d, want 1", seed, got)
+		}
+	}
+}
+
+func TestCVQueueDeliversAll(t *testing.T) {
+	b := ir.NewBuilder("q")
+	lib := Install(b, ir.LibPthread)
+	out := b.Global("OUT")
+	q := NewQueue(lib, "q", 16)
+	p := b.Func("producer", 0)
+	for i := 1; i <= 5; i++ {
+		v := p.Const(int64(i))
+		q.Put(p, "q", v)
+	}
+	p.Ret(ir.NoReg)
+	c := b.Func("consumer", 0)
+	sum := c.Const(0)
+	for i := 0; i < 5; i++ {
+		v := q.Get(c, "q")
+		sum = c.Add(sum, v)
+	}
+	c.StoreAddr(out, sum)
+	c.Ret(ir.NoReg)
+	m := b.Func("main", 0)
+	t1 := m.Spawn("producer")
+	t2 := m.Spawn("consumer")
+	m.Join(t1)
+	m.Join(t2)
+	m.Ret(ir.NoReg)
+	res := runProgram(t, b.MustBuild(), 5)
+	if got := res.Memory(0); got != 15 {
+		t.Errorf("OUT = %d, want 15", got)
+	}
+}
+
+func TestRingQueueDeliversAll(t *testing.T) {
+	b := ir.NewBuilder("rq")
+	out := b.Global("OUT")
+	_ = NewRingQueue(b, "rq", 8)
+	p := b.Func("producer", 0)
+	for i := 1; i <= 5; i++ {
+		v := p.Const(int64(i))
+		p.Call("rq_put", v)
+	}
+	p.Ret(ir.NoReg)
+	c := b.Func("consumer", 0)
+	sum := c.Const(0)
+	for i := 0; i < 5; i++ {
+		v := c.Call("rq_get")
+		sum = c.Add(sum, v)
+	}
+	c.StoreAddr(out, sum)
+	c.Ret(ir.NoReg)
+	m := b.Func("main", 0)
+	t1 := m.Spawn("producer")
+	t2 := m.Spawn("consumer")
+	m.Join(t1)
+	m.Join(t2)
+	m.Ret(ir.NoReg)
+	res := runProgram(t, b.MustBuild(), 9)
+	if got := res.Memory(0); got != 15 {
+		t.Errorf("OUT = %d, want 15", got)
+	}
+}
+
+// TestPrimitivesClassification checks, primitive by primitive, which wait
+// loops the spin classifier matches — the paper's core claim that library
+// primitives are ultimately spinning read loops, with the two deliberate
+// exceptions.
+func TestPrimitivesClassification(t *testing.T) {
+	b := ir.NewBuilder("lib")
+	Install(b, ir.LibPthread)
+	m := b.Func("main", 0)
+	m.Ret(ir.NoReg)
+	p := b.MustBuild()
+	ins := spin.Analyze(p, 7)
+
+	classified := make(map[string]int)
+	for _, l := range ins.Loops {
+		classified[p.Funcs[l.Func].Name]++
+	}
+	for _, fn := range []string{
+		"pthread_mutex_lock", "pthread_cond_wait", "pthread_barrier_wait",
+		"pthread_sem_wait", "pthread_rwlock_rdlock", "pthread_rwlock_wrlock",
+		"pthread_once_enter",
+	} {
+		if classified[fn] == 0 {
+			t.Errorf("%s: wait loop not classified as a spinning read loop", fn)
+		}
+	}
+	for _, fn := range []string{"pthread_evt_wait", "pthread_ec_wait"} {
+		if classified[fn] != 0 {
+			t.Errorf("%s: designed-to-fail loop was classified", fn)
+		}
+	}
+}
+
+func TestAllFamiliesInstall(t *testing.T) {
+	b := ir.NewBuilder("multi")
+	Install(b, ir.LibPthread)
+	Install(b, ir.LibGlib)
+	Install(b, ir.LibOMP)
+	m := b.Func("main", 0)
+	m.Ret(ir.NoReg)
+	p := b.MustBuild()
+	for _, name := range []string{"pthread_mutex_lock", "g_mutex_lock", "omp_mutex_lock"} {
+		if p.FuncByName(name) == nil {
+			t.Errorf("missing %s", name)
+		}
+	}
+	// evt/ec are pthread-only.
+	if p.FuncByName("g_evt_wait") != nil {
+		t.Error("glib must not install the kernel-event primitive")
+	}
+}

@@ -1,0 +1,109 @@
+// Package vc implements vector clocks, the ordering substrate of the
+// happens-before analyses (Lamport clocks generalized per thread, as used by
+// Helgrind+ and DRD).
+package vc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Clock is a vector clock: Clock[i] is the number of relevant events thread
+// i has performed. The zero value is the bottom clock (all zeros).
+type Clock struct {
+	ticks []uint64
+}
+
+// New returns an empty clock.
+func New() *Clock { return &Clock{} }
+
+// grow ensures capacity for thread index i.
+func (c *Clock) grow(i int) {
+	for len(c.ticks) <= i {
+		c.ticks = append(c.ticks, 0)
+	}
+}
+
+// Get returns the component for thread i.
+func (c *Clock) Get(i int) uint64 {
+	if i < len(c.ticks) {
+		return c.ticks[i]
+	}
+	return 0
+}
+
+// Set sets the component for thread i.
+func (c *Clock) Set(i int, v uint64) {
+	c.grow(i)
+	c.ticks[i] = v
+}
+
+// Tick increments the component for thread i and returns the new value.
+func (c *Clock) Tick(i int) uint64 {
+	c.grow(i)
+	c.ticks[i]++
+	return c.ticks[i]
+}
+
+// Join merges other into c (pointwise max).
+func (c *Clock) Join(other *Clock) {
+	if other == nil {
+		return
+	}
+	c.grow(len(other.ticks) - 1)
+	for i, v := range other.ticks {
+		if v > c.ticks[i] {
+			c.ticks[i] = v
+		}
+	}
+}
+
+// Copy returns an independent copy of c.
+func (c *Clock) Copy() *Clock {
+	out := &Clock{ticks: make([]uint64, len(c.ticks))}
+	copy(out.ticks, c.ticks)
+	return out
+}
+
+// LessOrEqual reports whether c happens-before-or-equals other
+// (pointwise <=).
+func (c *Clock) LessOrEqual(other *Clock) bool {
+	for i, v := range c.ticks {
+		if v == 0 {
+			continue
+		}
+		if other == nil || v > other.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock orders the other. Equal clocks
+// are not concurrent.
+func Concurrent(a, b *Clock) bool {
+	return !a.LessOrEqual(b) && !b.LessOrEqual(a)
+}
+
+// OrderedBefore reports whether an event stamped a happens-before an event
+// stamped b, i.e. a <= b and a != b componentwise somewhere. For race
+// detection the usual test is simply a.LessOrEqual(b).
+func OrderedBefore(a, b *Clock) bool {
+	return a.LessOrEqual(b)
+}
+
+// Len returns the number of components the clock tracks.
+func (c *Clock) Len() int { return len(c.ticks) }
+
+// Bytes returns the approximate memory footprint of the clock, used by the
+// shadow-memory accounting in the performance figures.
+func (c *Clock) Bytes() int64 { return int64(len(c.ticks))*8 + 24 }
+
+// String renders the clock as <t0,t1,...>.
+func (c *Clock) String() string {
+	parts := make([]string, len(c.ticks))
+	for i, v := range c.ticks {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "<" + strings.Join(parts, ",") + ">"
+}

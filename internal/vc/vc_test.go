@@ -1,0 +1,175 @@
+package vc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroClockIsBottom(t *testing.T) {
+	a := New()
+	b := New()
+	if !a.LessOrEqual(b) || !b.LessOrEqual(a) {
+		t.Error("two empty clocks must be mutually <=")
+	}
+	if Concurrent(a, b) {
+		t.Error("empty clocks are not concurrent")
+	}
+}
+
+func TestTickAndGet(t *testing.T) {
+	c := New()
+	if got := c.Get(3); got != 0 {
+		t.Fatalf("Get(3) = %d before ticks", got)
+	}
+	if got := c.Tick(3); got != 1 {
+		t.Fatalf("first Tick(3) = %d, want 1", got)
+	}
+	if got := c.Tick(3); got != 2 {
+		t.Fatalf("second Tick(3) = %d, want 2", got)
+	}
+	if got := c.Get(0); got != 0 {
+		t.Fatalf("Get(0) = %d, want 0", got)
+	}
+	if c.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", c.Len())
+	}
+}
+
+func TestJoinIsPointwiseMax(t *testing.T) {
+	a := New()
+	a.Set(0, 5)
+	a.Set(2, 1)
+	b := New()
+	b.Set(0, 3)
+	b.Set(1, 7)
+	a.Join(b)
+	for i, want := range []uint64{5, 7, 1} {
+		if got := a.Get(i); got != want {
+			t.Errorf("a[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestJoinNil(t *testing.T) {
+	a := New()
+	a.Set(0, 2)
+	a.Join(nil)
+	if a.Get(0) != 2 {
+		t.Error("Join(nil) must be a no-op")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	b := a.Copy()
+	b.Tick(1)
+	if !a.LessOrEqual(b) {
+		t.Error("a <= b after b extended")
+	}
+	if b.LessOrEqual(a) {
+		t.Error("b must not be <= a")
+	}
+	if Concurrent(a, b) {
+		t.Error("ordered clocks are not concurrent")
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	a := New()
+	a.Set(0, 2)
+	b := New()
+	b.Set(1, 2)
+	if !Concurrent(a, b) {
+		t.Error("disjoint clocks are concurrent")
+	}
+}
+
+func TestCopyIndependence(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	b := a.Copy()
+	b.Tick(0)
+	if a.Get(0) != 1 {
+		t.Error("Copy must not share storage")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	a.Set(1, 2)
+	if got := a.String(); got != "<1,2>" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+// Property: Join is commutative, associative, idempotent (a semilattice),
+// and LessOrEqual is consistent with Join (a <= a⊔b).
+func clockFrom(vals []uint8) *Clock {
+	c := New()
+	for i, v := range vals {
+		c.Set(i, uint64(v))
+	}
+	return c
+}
+
+func TestJoinCommutative(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		a1 := clockFrom(xs)
+		a1.Join(clockFrom(ys))
+		b1 := clockFrom(ys)
+		b1.Join(clockFrom(xs))
+		return a1.LessOrEqual(b1) && b1.LessOrEqual(a1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinUpperBound(t *testing.T) {
+	f := func(xs, ys []uint8) bool {
+		j := clockFrom(xs)
+		j.Join(clockFrom(ys))
+		return clockFrom(xs).LessOrEqual(j) && clockFrom(ys).LessOrEqual(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinIdempotent(t *testing.T) {
+	f := func(xs []uint8) bool {
+		a := clockFrom(xs)
+		a.Join(clockFrom(xs))
+		b := clockFrom(xs)
+		return a.LessOrEqual(b) && b.LessOrEqual(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessOrEqualAntisymmetryWithTick(t *testing.T) {
+	f := func(xs []uint8, tick uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		a := clockFrom(xs)
+		b := a.Copy()
+		b.Tick(int(tick) % len(xs))
+		return a.LessOrEqual(b) && !b.LessOrEqual(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesGrowsWithLen(t *testing.T) {
+	a := New()
+	small := a.Bytes()
+	a.Set(100, 1)
+	if a.Bytes() <= small {
+		t.Error("Bytes must grow with components")
+	}
+}

@@ -1,0 +1,630 @@
+// Package vm executes ir programs on a deterministic multithreaded
+// interpreter and emits the runtime event stream race detectors consume.
+//
+// The VM stands in for the native execution under Valgrind: it interleaves
+// threads preemptively under a seeded scheduler (identical program+seed ⇒
+// identical interleaving), synthesizes high-level synchronization events for
+// calls into libraries the detector knows (Valgrind's interceptors), hides
+// memory traffic inside those known-library frames, and fires the spin-read
+// and spin-exit marks placed by the instrumentation phase (package spin).
+package vm
+
+import (
+	"errors"
+	"fmt"
+
+	"adhocrace/internal/event"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/spin"
+)
+
+// Options configures a run.
+type Options struct {
+	// Seed drives the scheduler. Runs with equal seeds are identical.
+	Seed int64
+	// MaxSteps aborts runaway executions (livelock/deadlock guard).
+	// 0 means the default of 4M steps.
+	MaxSteps int64
+	// QuantumMax bounds the number of instructions a thread runs between
+	// scheduling points. 0 means the default of 12.
+	QuantumMax int
+	// KnownLibs is the set of library tags the detector intercepts.
+	// Calls into functions tagged with a known library emit sync events
+	// and hide their internal memory traffic.
+	KnownLibs map[ir.LibTag]bool
+	// Instr is the spin-loop instrumentation to honor; nil disables marks.
+	Instr *spin.Instrumentation
+	// Sink receives the event stream; nil discards it.
+	Sink event.Sink
+}
+
+const (
+	defaultMaxSteps   = 4 << 20
+	defaultQuantumMax = 12
+	maxMemoryWords    = 1 << 22
+)
+
+// ErrStepLimit is returned when the run exceeds MaxSteps.
+var ErrStepLimit = errors.New("vm: step limit exceeded (livelock?)")
+
+// ErrDeadlock is returned when no thread is runnable but some are blocked.
+var ErrDeadlock = errors.New("vm: deadlock: all live threads blocked")
+
+// Result summarizes a completed run.
+type Result struct {
+	// Steps is the number of instructions executed.
+	Steps int64
+	// Threads is the number of threads ever created (including main).
+	Threads int
+	// Memory exposes final memory for workload self-checks: word values
+	// by address.
+	Memory func(addr int64) int64
+}
+
+type threadState uint8
+
+const (
+	stateRunnable threadState = iota
+	stateBlockedJoin
+	stateDone
+)
+
+type frame struct {
+	fn    *ir.Func
+	regs  []int64
+	block int
+	ip    int
+	// retDst is the register in the caller frame receiving the return
+	// value (NoReg to discard).
+	retDst int
+	// intercepted marks this frame as the outermost frame of a known-lib
+	// call; sync Post fires when it returns.
+	intercepted bool
+	syncKind    ir.SyncKind
+	syncAddr    int64
+	syncAddr2   int64
+	callLoc     ir.Loc
+}
+
+type thread struct {
+	id       event.Tid
+	frames   []*frame
+	state    threadState
+	joinWait event.Tid // valid when stateBlockedJoin
+	// libDepth counts enclosing known-library frames; memory and spin
+	// events are suppressed while > 0.
+	libDepth int
+	// lastSpinAddr tracks, per spin loop, the last condition address this
+	// thread read; exposed to detectors through SpinRead events.
+	retValue int64
+}
+
+// VM is a single run in progress.
+type VM struct {
+	prog *ir.Program
+	opts Options
+	mem  []int64
+
+	threads  []*thread
+	runnable []event.Tid
+	rng      uint64
+	steps    int64
+	sink     event.Sink
+	ev       event.Event // scratch, reused across emissions
+}
+
+// New prepares a run of the program.
+func New(p *ir.Program, opts Options) *VM {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	if opts.QuantumMax <= 0 {
+		opts.QuantumMax = defaultQuantumMax
+	}
+	seed := uint64(opts.Seed)
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	words := p.MemoryWords() + 64
+	v := &VM{
+		prog: p,
+		opts: opts,
+		mem:  make([]int64, words),
+		rng:  seed,
+		sink: opts.Sink,
+	}
+	return v
+}
+
+// Run executes the program's "main" function to completion of all threads.
+func (v *VM) Run() (Result, error) {
+	main := v.prog.FuncByName("main")
+	if main == nil {
+		return Result{}, errors.New("vm: program has no main function")
+	}
+	if main.NParams != 0 {
+		return Result{}, fmt.Errorf("vm: main must take 0 params, has %d", main.NParams)
+	}
+	v.spawnThread(main, nil)
+	v.emitThread(event.KindThreadStart, 0, 0)
+
+	for {
+		if len(v.runnable) == 0 {
+			if v.allDone() {
+				break
+			}
+			return v.result(), ErrDeadlock
+		}
+		ti := int(v.next() % uint64(len(v.runnable)))
+		tid := v.runnable[ti]
+		quantum := 1 + int(v.next()%uint64(v.opts.QuantumMax))
+		if err := v.runThread(v.threads[tid], quantum); err != nil {
+			return v.result(), err
+		}
+	}
+	return v.result(), nil
+}
+
+func (v *VM) result() Result {
+	return Result{
+		Steps:   v.steps,
+		Threads: len(v.threads),
+		Memory: func(addr int64) int64 {
+			w := addr >> 3
+			if w < 0 || w >= int64(len(v.mem)) {
+				return 0
+			}
+			return v.mem[w]
+		},
+	}
+}
+
+func (v *VM) allDone() bool {
+	for _, t := range v.threads {
+		if t.state != stateDone {
+			return false
+		}
+	}
+	return true
+}
+
+// next is a xorshift64* step.
+func (v *VM) next() uint64 {
+	x := v.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	v.rng = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+func (v *VM) spawnThread(fn *ir.Func, args []int64) event.Tid {
+	tid := event.Tid(len(v.threads))
+	t := &thread{id: tid}
+	f := newFrame(fn, ir.NoReg)
+	copy(f.regs, args)
+	t.frames = append(t.frames, f)
+	v.threads = append(v.threads, t)
+	v.runnable = append(v.runnable, tid)
+	return tid
+}
+
+func newFrame(fn *ir.Func, retDst int) *frame {
+	return &frame{fn: fn, regs: make([]int64, fn.NRegs), retDst: retDst}
+}
+
+func (v *VM) removeRunnable(tid event.Tid) {
+	for i, r := range v.runnable {
+		if r == tid {
+			v.runnable = append(v.runnable[:i], v.runnable[i+1:]...)
+			return
+		}
+	}
+}
+
+// emit routes an event to the sink, honoring library suppression for
+// memory and spin events.
+func (v *VM) emitAccess(t *thread, kind event.Kind, addr, value int64, sym string, loc ir.Loc) {
+	if v.sink == nil || t.libDepth > 0 {
+		return
+	}
+	v.ev = event.Event{Kind: kind, Tid: t.id, Addr: addr, Value: value, Sym: sym, Loc: loc}
+	v.sink.Handle(&v.ev)
+}
+
+func (v *VM) emitRMWWrite(t *thread, addr, value int64, sym string, loc ir.Loc) {
+	if v.sink == nil || t.libDepth > 0 {
+		return
+	}
+	v.ev = event.Event{Kind: event.KindAtomicWrite, Tid: t.id, Addr: addr, Value: value, RMW: true, Sym: sym, Loc: loc}
+	v.sink.Handle(&v.ev)
+}
+
+func (v *VM) emitSpin(t *thread, kind event.Kind, loopID int, addr, value int64, loc ir.Loc) {
+	if v.sink == nil || t.libDepth > 0 || v.opts.Instr == nil {
+		return
+	}
+	v.ev = event.Event{Kind: kind, Tid: t.id, SpinLoop: loopID, Addr: addr, Value: value, Loc: loc}
+	v.sink.Handle(&v.ev)
+}
+
+func (v *VM) emitSync(t *thread, kind event.Kind, sk ir.SyncKind, addr, addr2 int64, loc ir.Loc) {
+	if v.sink == nil {
+		return
+	}
+	v.ev = event.Event{Kind: kind, Tid: t.id, Sync: sk, Addr: addr, Addr2: addr2, Loc: loc}
+	v.sink.Handle(&v.ev)
+}
+
+func (v *VM) emitThread(kind event.Kind, tid, child event.Tid) {
+	if v.sink == nil {
+		return
+	}
+	v.ev = event.Event{Kind: kind, Tid: tid, Child: child}
+	v.sink.Handle(&v.ev)
+}
+
+func (v *VM) load(addr int64) (int64, error) {
+	w := addr >> 3
+	if w < 0 {
+		return 0, fmt.Errorf("vm: load from negative address %d", addr)
+	}
+	if w >= int64(len(v.mem)) {
+		if w >= maxMemoryWords {
+			return 0, fmt.Errorf("vm: load address %d out of range", addr)
+		}
+		v.growMem(w)
+	}
+	return v.mem[w], nil
+}
+
+func (v *VM) store(addr, val int64) error {
+	w := addr >> 3
+	if w < 0 {
+		return fmt.Errorf("vm: store to negative address %d", addr)
+	}
+	if w >= int64(len(v.mem)) {
+		if w >= maxMemoryWords {
+			return fmt.Errorf("vm: store address %d out of range", addr)
+		}
+		v.growMem(w)
+	}
+	v.mem[w] = val
+	return nil
+}
+
+func (v *VM) growMem(w int64) {
+	n := int64(len(v.mem))
+	for n <= w {
+		n *= 2
+	}
+	if n > maxMemoryWords {
+		n = maxMemoryWords
+	}
+	bigger := make([]int64, n)
+	copy(bigger, v.mem)
+	v.mem = bigger
+}
+
+// runThread executes up to quantum instructions of t. It returns early when
+// the thread blocks, yields, or finishes.
+func (v *VM) runThread(t *thread, quantum int) error {
+	for i := 0; i < quantum; i++ {
+		if t.state != stateRunnable {
+			return nil
+		}
+		v.steps++
+		if v.steps > v.opts.MaxSteps {
+			return ErrStepLimit
+		}
+		yielded, err := v.step(t)
+		if err != nil {
+			return err
+		}
+		if yielded {
+			return nil
+		}
+	}
+	return nil
+}
+
+// step executes one instruction of t. It reports whether the thread
+// voluntarily yielded the processor.
+func (v *VM) step(t *thread) (bool, error) {
+	f := t.frames[len(t.frames)-1]
+	blk := f.fn.Blocks[f.block]
+	in := blk.Instrs[f.ip]
+	advance := true
+
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpYield:
+		f.ip++
+		return true, nil
+	case ir.OpConst:
+		f.regs[in.Dst] = in.Imm
+	case ir.OpMov:
+		f.regs[in.Dst] = f.regs[in.A]
+	case ir.OpAdd:
+		f.regs[in.Dst] = f.regs[in.A] + f.regs[in.B]
+	case ir.OpSub:
+		f.regs[in.Dst] = f.regs[in.A] - f.regs[in.B]
+	case ir.OpMul:
+		f.regs[in.Dst] = f.regs[in.A] * f.regs[in.B]
+	case ir.OpDiv:
+		if f.regs[in.B] == 0 {
+			f.regs[in.Dst] = 0
+		} else {
+			f.regs[in.Dst] = f.regs[in.A] / f.regs[in.B]
+		}
+	case ir.OpMod:
+		if f.regs[in.B] == 0 {
+			f.regs[in.Dst] = 0
+		} else {
+			f.regs[in.Dst] = f.regs[in.A] % f.regs[in.B]
+		}
+	case ir.OpAnd:
+		f.regs[in.Dst] = f.regs[in.A] & f.regs[in.B]
+	case ir.OpOr:
+		f.regs[in.Dst] = f.regs[in.A] | f.regs[in.B]
+	case ir.OpXor:
+		f.regs[in.Dst] = f.regs[in.A] ^ f.regs[in.B]
+	case ir.OpShl:
+		f.regs[in.Dst] = f.regs[in.A] << (uint64(f.regs[in.B]) & 63)
+	case ir.OpShr:
+		f.regs[in.Dst] = int64(uint64(f.regs[in.A]) >> (uint64(f.regs[in.B]) & 63))
+	case ir.OpCmpEQ:
+		f.regs[in.Dst] = b2i(f.regs[in.A] == f.regs[in.B])
+	case ir.OpCmpNE:
+		f.regs[in.Dst] = b2i(f.regs[in.A] != f.regs[in.B])
+	case ir.OpCmpLT:
+		f.regs[in.Dst] = b2i(f.regs[in.A] < f.regs[in.B])
+	case ir.OpCmpLE:
+		f.regs[in.Dst] = b2i(f.regs[in.A] <= f.regs[in.B])
+	case ir.OpCmpGT:
+		f.regs[in.Dst] = b2i(f.regs[in.A] > f.regs[in.B])
+	case ir.OpCmpGE:
+		f.regs[in.Dst] = b2i(f.regs[in.A] >= f.regs[in.B])
+	case ir.OpNot:
+		f.regs[in.Dst] = b2i(f.regs[in.A] == 0)
+
+	case ir.OpLoad, ir.OpAtomicLoad:
+		addr := f.regs[in.A]
+		val, err := v.load(addr)
+		if err != nil {
+			return false, err
+		}
+		f.regs[in.Dst] = val
+		kind := event.KindRead
+		if in.Op == ir.OpAtomicLoad {
+			kind = event.KindAtomicRead
+		}
+		// The spin-read mark precedes the access event so detectors can
+		// classify the address as a synchronization variable before they
+		// race-check the access itself.
+		v.markSpinRead(t, f, addr, val, in.Loc)
+		v.emitAccess(t, kind, addr, val, in.Sym, in.Loc)
+
+	case ir.OpStore, ir.OpAtomicStore:
+		addr := f.regs[in.A]
+		val := f.regs[in.B]
+		if err := v.store(addr, val); err != nil {
+			return false, err
+		}
+		kind := event.KindWrite
+		if in.Op == ir.OpAtomicStore {
+			kind = event.KindAtomicWrite
+		}
+		v.emitAccess(t, kind, addr, val, in.Sym, in.Loc)
+
+	case ir.OpAtomicCAS:
+		addr := f.regs[in.A]
+		old, err := v.load(addr)
+		if err != nil {
+			return false, err
+		}
+		v.markSpinRead(t, f, addr, old, in.Loc)
+		v.emitAccess(t, event.KindAtomicRead, addr, old, in.Sym, in.Loc)
+		if old == f.regs[in.B] {
+			if err := v.store(addr, f.regs[in.C]); err != nil {
+				return false, err
+			}
+			v.emitRMWWrite(t, addr, f.regs[in.C], in.Sym, in.Loc)
+			f.regs[in.Dst] = 1
+		} else {
+			f.regs[in.Dst] = 0
+		}
+
+	case ir.OpAtomicAdd:
+		addr := f.regs[in.A]
+		old, err := v.load(addr)
+		if err != nil {
+			return false, err
+		}
+		v.markSpinRead(t, f, addr, old, in.Loc)
+		v.emitAccess(t, event.KindAtomicRead, addr, old, in.Sym, in.Loc)
+		if err := v.store(addr, old+f.regs[in.B]); err != nil {
+			return false, err
+		}
+		v.emitRMWWrite(t, addr, old+f.regs[in.B], in.Sym, in.Loc)
+		f.regs[in.Dst] = old
+
+	case ir.OpJmp:
+		f.block = int(in.Imm)
+		f.ip = 0
+		advance = false
+
+	case ir.OpBr:
+		taken := int(in.Imm)
+		if f.regs[in.A] == 0 {
+			taken = int(in.Imm2)
+		}
+		v.markSpinExit(t, f, taken)
+		f.block = taken
+		f.ip = 0
+		advance = false
+
+	case ir.OpRet:
+		var val int64
+		if in.A != ir.NoReg {
+			val = f.regs[in.A]
+		}
+		return v.returnFrom(t, val)
+
+	case ir.OpCall, ir.OpCallIndirect:
+		var callee *ir.Func
+		if in.Op == ir.OpCall {
+			callee = v.prog.Funcs[in.Imm]
+		} else {
+			fi := f.regs[in.A]
+			if fi < 0 || int(fi) >= len(v.prog.Funcs) {
+				return false, fmt.Errorf("vm: indirect call to invalid function %d", fi)
+			}
+			callee = v.prog.Funcs[fi]
+			if len(in.Args) != callee.NParams {
+				return false, fmt.Errorf("vm: indirect call to %q: want %d args, got %d",
+					callee.Name, callee.NParams, len(in.Args))
+			}
+		}
+		nf := newFrame(callee, in.Dst)
+		for i, r := range in.Args {
+			nf.regs[i] = f.regs[r]
+		}
+		f.ip++ // resume after the call upon return
+		advance = false
+		if v.isIntercepted(callee) && t.libDepth == 0 {
+			nf.intercepted = true
+			nf.syncKind = callee.Sync
+			if callee.NParams > 0 {
+				nf.syncAddr = nf.regs[0]
+			}
+			if callee.NParams > 1 {
+				nf.syncAddr2 = nf.regs[1]
+			}
+			nf.callLoc = in.Loc
+			v.emitSync(t, event.KindSyncPre, nf.syncKind, nf.syncAddr, nf.syncAddr2, in.Loc)
+			t.libDepth++
+		} else if t.libDepth > 0 {
+			t.libDepth++
+		}
+		t.frames = append(t.frames, nf)
+
+	case ir.OpSpawn:
+		callee := v.prog.Funcs[in.Imm]
+		args := make([]int64, len(in.Args))
+		for i, r := range in.Args {
+			args[i] = f.regs[r]
+		}
+		child := v.spawnThread(callee, args)
+		if in.Dst != ir.NoReg {
+			f.regs[in.Dst] = int64(child)
+		}
+		v.emitThread(event.KindSpawn, t.id, child)
+		v.emitThread(event.KindThreadStart, child, 0)
+
+	case ir.OpJoin:
+		target := event.Tid(f.regs[in.A])
+		if target < 0 || int(target) >= len(v.threads) {
+			return false, fmt.Errorf("vm: join on invalid thread %d", target)
+		}
+		if v.threads[target].state != stateDone {
+			t.state = stateBlockedJoin
+			t.joinWait = target
+			v.removeRunnable(t.id)
+			// Do not advance: re-execute the join when woken so the
+			// event fires after the child is really done.
+			return true, nil
+		}
+		v.emitThread(event.KindJoin, t.id, target)
+
+	default:
+		return false, fmt.Errorf("vm: unknown opcode %v", in.Op)
+	}
+
+	if advance {
+		f.ip++
+	}
+	return false, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (v *VM) isIntercepted(fn *ir.Func) bool {
+	if fn.Lib == ir.LibNone || fn.Sync == ir.SyncNone {
+		return false
+	}
+	return v.opts.KnownLibs[fn.Lib]
+}
+
+// returnFrom pops the current frame. When the thread's last frame returns,
+// the thread is done and joiners are woken.
+func (v *VM) returnFrom(t *thread, val int64) (bool, error) {
+	f := t.frames[len(t.frames)-1]
+	if f.intercepted {
+		t.libDepth--
+		v.emitSync(t, event.KindSyncPost, f.syncKind, f.syncAddr, f.syncAddr2, f.callLoc)
+	} else if t.libDepth > 0 {
+		t.libDepth--
+	}
+	t.frames = t.frames[:len(t.frames)-1]
+	if len(t.frames) == 0 {
+		t.retValue = val
+		t.state = stateDone
+		v.removeRunnable(t.id)
+		v.emitThread(event.KindThreadExit, t.id, 0)
+		v.wakeJoiners(t.id)
+		return true, nil
+	}
+	caller := t.frames[len(t.frames)-1]
+	if f.retDst != ir.NoReg {
+		caller.regs[f.retDst] = val
+	}
+	return false, nil
+}
+
+func (v *VM) wakeJoiners(done event.Tid) {
+	for _, t := range v.threads {
+		if t.state == stateBlockedJoin && t.joinWait == done {
+			t.state = stateRunnable
+			v.runnable = append(v.runnable, t.id)
+		}
+	}
+}
+
+// markSpinRead fires the spin-read mark when the just-executed memory read
+// sits at an instrumented condition-load site.
+func (v *VM) markSpinRead(t *thread, f *frame, addr, val int64, loc ir.Loc) {
+	if v.opts.Instr == nil {
+		return
+	}
+	id := v.opts.Instr.SpinReadLoop(f.fn.Index, f.block, f.ip)
+	if id < 0 {
+		return
+	}
+	v.emitSpin(t, event.KindSpinRead, id, addr, val, loc)
+}
+
+// markSpinExit fires the spin-exit mark when an instrumented exit branch
+// leaves its loop.
+func (v *VM) markSpinExit(t *thread, f *frame, taken int) {
+	if v.opts.Instr == nil {
+		return
+	}
+	id := v.opts.Instr.ExitBranchLoop(f.fn.Index, f.block)
+	if id < 0 {
+		return
+	}
+	if !v.opts.Instr.LoopContains(id, taken) {
+		v.emitSpin(t, event.KindSpinExit, id, 0, 0, ir.Loc{})
+	}
+}
+
+// Run is a convenience wrapper: build a VM and run it.
+func Run(p *ir.Program, opts Options) (Result, error) {
+	return New(p, opts).Run()
+}

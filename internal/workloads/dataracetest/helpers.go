@@ -1,0 +1,196 @@
+// Package dataracetest generates the 120-case labelled accuracy suite used
+// by the paper's test-suite evaluation (slides 24/25), modelled on the
+// data-race-test framework: racy and race-free pthread programs with 2–16
+// threads, including the difficult ad-hoc synchronization cases — spinning
+// read loops of 2–7 basic blocks, function-pointer conditions, obscure task
+// queues, and retry-counted waits.
+//
+// Every case carries its ground truth (Racy) so the harness can score false
+// alarms and missed races per tool configuration.
+package dataracetest
+
+import (
+	"fmt"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/synclib"
+)
+
+// Case is one labelled test program.
+type Case struct {
+	ID       int
+	Name     string
+	Category string
+	// Racy is the ground truth: true when the program contains at least
+	// one genuine data race.
+	Racy bool
+	// Threads is the number of worker threads the case spawns.
+	Threads int
+	// Build constructs a fresh program for the case.
+	Build func() *ir.Program
+}
+
+// String identifies the case.
+func (c Case) String() string {
+	gt := "race-free"
+	if c.Racy {
+		gt = "racy"
+	}
+	return fmt.Sprintf("case%03d %s (%s, %s, %d threads)", c.ID, c.Name, c.Category, gt, c.Threads)
+}
+
+// fillerEvents is the number of shared-memory events a "long" delay
+// generates — comfortably more than DRD's segment-history window, so races
+// (and false races) whose accesses straddle a long delay cannot be paired
+// by the DRD baseline.
+const fillerEvents = 4800
+
+// cb is the per-case builder context.
+type cb struct {
+	b   *ir.Builder
+	lib *synclib.Lib
+}
+
+func newCB(name string) *cb {
+	b := ir.NewBuilder(name)
+	return &cb{b: b, lib: synclib.Install(b, ir.LibPthread)}
+}
+
+func (c *cb) build() *ir.Program {
+	p, err := c.b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("dataracetest: %v", err))
+	}
+	return p
+}
+
+// mainSpawnJoin builds a main function that spawns the named workers and
+// joins them all, then optionally reads the given globals (joined reads are
+// always ordered and must never warn).
+func (c *cb) mainSpawnJoin(workers []string, finalReads ...int64) {
+	m := c.b.Func("main", 0)
+	m.SetLoc("main.c", 1)
+	tids := make([]int, len(workers))
+	for i, w := range workers {
+		tids[i] = m.Spawn(w)
+	}
+	for _, tid := range tids {
+		m.Join(tid)
+	}
+	for _, g := range finalReads {
+		_ = m.LoadAddr(g)
+	}
+	m.Ret(ir.NoReg)
+}
+
+// spinWait emits a spinning read loop on flag with the requested number of
+// basic blocks (>=2). atomicLoad selects atomic vs plain condition loads.
+// The loop waits until the flag becomes non-zero.
+func spinWait(f *ir.FuncBuilder, flag int64, sym string, blocks int, atomicLoad bool) {
+	zero := f.Const(0)
+	header := f.NewBlock()
+	pads := make([]int, 0, blocks-2)
+	for i := 0; i < blocks-2; i++ {
+		pads = append(pads, f.NewBlock())
+	}
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	a := f.Addr(flag, sym)
+	var v int
+	if atomicLoad {
+		v = f.AtomicLoad(a, sym)
+	} else {
+		v = f.Load(a, sym)
+	}
+	waiting := f.CmpEQ(v, zero)
+	next := body
+	if len(pads) > 0 {
+		next = pads[0]
+	}
+	f.Br(waiting, next, exit)
+	// Pad blocks model the "templates and complex function calls" the
+	// paper found in real loop conditions: extra register computation on
+	// the way to the loop body.
+	for i, p := range pads {
+		f.SetBlock(p)
+		x := f.Const(int64(i + 1))
+		y := f.Add(x, x)
+		_ = f.Mul(y, x)
+		if i+1 < len(pads) {
+			f.Jmp(pads[i+1])
+		} else {
+			f.Jmp(body)
+		}
+	}
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+}
+
+// setFlag emits flag = 1, atomically or plainly.
+func setFlag(f *ir.FuncBuilder, flag int64, sym string, atomic bool) {
+	one := f.Const(1)
+	a := f.Addr(flag, sym)
+	if atomic {
+		f.AtomicStore(a, one, sym)
+	} else {
+		f.Store(a, one, sym)
+	}
+}
+
+// filler emits events memory events on a private scratch cell: a register-
+// counted loop of load-increment-store rounds. Used to push paired accesses
+// beyond the DRD history window.
+func filler(f *ir.FuncBuilder, scratch int64, sym string, events int) {
+	rounds := events / 2
+	zero := f.Const(0)
+	one := f.Const(1)
+	limit := f.Const(int64(rounds))
+	i := f.Mov(zero)
+	a := f.Addr(scratch, sym)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	c := f.CmpLT(i, limit)
+	f.Br(c, body, exit)
+	f.SetBlock(body)
+	v := f.Load(a, sym)
+	v1 := f.Add(v, one)
+	f.Store(a, v1, sym)
+	f.BinTo(ir.OpAdd, i, i, one)
+	f.Jmp(header)
+	f.SetBlock(exit)
+}
+
+// touch emits a load-increment-store round on a global.
+func touch(f *ir.FuncBuilder, g int64, sym string) {
+	one := f.Const(1)
+	a := f.Addr(g, sym)
+	v := f.Load(a, sym)
+	v1 := f.Add(v, one)
+	f.Store(a, v1, sym)
+}
+
+// touchIdx emits a load-increment-store round on array[idx].
+func touchIdx(f *ir.FuncBuilder, base int64, sym string, idx int) {
+	one := f.Const(1)
+	ireg := f.Const(int64(idx))
+	v := f.LoadIdx(base, ireg, sym)
+	v1 := f.Add(v, one)
+	ireg2 := f.Const(int64(idx))
+	f.StoreIdx(base, ireg2, v1, sym)
+}
+
+// workerNames returns n distinct worker function names.
+func workerNames(prefix string, n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s%d", prefix, i)
+	}
+	return names
+}

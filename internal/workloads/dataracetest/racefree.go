@@ -1,0 +1,944 @@
+package dataracetest
+
+import (
+	"fmt"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/synclib"
+)
+
+// raceFreeCases returns the suite's 72 race-free cases.
+func raceFreeCases() []Case {
+	var cases []Case
+	add := func(name, cat string, threads int, build func() *ir.Program) {
+		cases = append(cases, Case{
+			ID: len(cases) + 1, Name: name, Category: cat,
+			Racy: false, Threads: threads, Build: build,
+		})
+	}
+
+	// --- Library mutexes (6) -------------------------------------------
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		add(fmt.Sprintf("mutex_counter_%d", n), "lib-mutex", n, func() *ir.Program {
+			return mutexCounter(n, 1)
+		})
+	}
+	add("mutex_two_locks_partitioned", "lib-mutex", 4, func() *ir.Program {
+		return mutexPartitioned(4)
+	})
+	add("mutex_nested", "lib-mutex", 2, func() *ir.Program {
+		return mutexNested()
+	})
+
+	// --- Condition variables (6) ---------------------------------------
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		add(fmt.Sprintf("cv_producer_consumer_%d", n), "lib-cv", n, func() *ir.Program {
+			return cvProducerConsumer(n - 1)
+		})
+	}
+	add("cv_broadcast_style", "lib-cv", 4, func() *ir.Program { return cvBroadcast(3) })
+	add("cv_two_stage", "lib-cv", 3, func() *ir.Program { return cvTwoStage() })
+	add("cv_pred_reuse", "lib-cv", 2, func() *ir.Program { return cvProducerConsumer(1) })
+
+	// --- Barriers, disjoint data (4) ------------------------------------
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		add(fmt.Sprintf("barrier_phases_%d", n), "lib-barrier", n, func() *ir.Program {
+			return barrierPhases(n, 2)
+		})
+	}
+
+	// --- Semaphores (5) --------------------------------------------------
+	add("sem_handoff", "lib-sem", 2, func() *ir.Program { return semHandoff(1) })
+	add("sem_handoff_chain", "lib-sem", 4, func() *ir.Program { return semChain(4) })
+	add("sem_multi_producer", "lib-sem", 4, func() *ir.Program { return semHandoff(3) })
+	add("sem_pool", "lib-sem", 8, func() *ir.Program { return semHandoff(7) })
+	add("sem_pingpong", "lib-sem", 2, func() *ir.Program { return semPingPong() })
+
+	// --- Reader/writer locks (4) -----------------------------------------
+	for _, readers := range []int{1, 3, 7, 15} {
+		readers := readers
+		add(fmt.Sprintf("rwlock_%dr", readers), "lib-rwlock", readers+1, func() *ir.Program {
+			return rwlockReaders(readers)
+		})
+	}
+
+	// --- Once guards (3) --------------------------------------------------
+	for _, n := range []int{2, 4, 8} {
+		n := n
+		add(fmt.Sprintf("once_init_%d", n), "lib-once", n, func() *ir.Program {
+			return onceInit(n)
+		})
+	}
+
+	// --- Condvar task queues (4) ------------------------------------------
+	for _, consumers := range []int{1, 2, 4, 7} {
+		consumers := consumers
+		add(fmt.Sprintf("cvqueue_%dc", consumers), "lib-queue", consumers+1, func() *ir.Program {
+			return cvQueuePipeline(consumers, 4)
+		})
+	}
+
+	// --- Fork/join only (3) ------------------------------------------------
+	add("join_sequential", "lib-join", 2, func() *ir.Program { return joinSequential() })
+	add("join_tree", "lib-join", 4, func() *ir.Program { return joinTree(4) })
+	add("join_wide", "lib-join", 16, func() *ir.Program { return joinWide(16) })
+
+	// --- Mixed primitives (4) ----------------------------------------------
+	add("mixed_lock_sem", "lib-mixed", 3, func() *ir.Program { return mixedLockSem() })
+	add("mixed_lock_cv_sem", "lib-mixed", 4, func() *ir.Program { return mixedLockCvSem() })
+	add("mixed_barrier_mutex", "lib-mixed", 4, func() *ir.Program { return mixedBarrierMutex(4) })
+	add("mixed_queue_sem", "lib-mixed", 3, func() *ir.Program { return mixedQueueSem() })
+
+	// --- Ad-hoc spinning read loops, matchable (24) -------------------------
+	// Loop sizes reproduce the paper's spin-window sensitivity (slide 25):
+	// 8 loops of <=3 blocks, 1 loop of 5 blocks, 15 loops of exactly 7
+	// blocks. Five cases use plain flags with an immediate hand-off (the
+	// DRD baseline sees those races up close); the other 19 use atomic
+	// flags with a long delay before the flag is raised.
+	type spinSpec struct {
+		blocks int
+		atomic bool
+		long   bool
+	}
+	specs := []spinSpec{
+		{2, false, false}, {3, false, false}, {3, false, false}, // short, plain
+		{3, true, true}, {3, true, true}, {3, true, true}, {3, true, true}, {2, true, true},
+		{5, true, true},
+		{7, false, false}, {7, false, false}, // short, plain
+		{7, true, true}, {7, true, true}, {7, true, true}, {7, true, true}, {7, true, true},
+		{7, true, true}, {7, true, true}, {7, true, true}, {7, true, true}, {7, true, true},
+		{7, true, true}, {7, true, true}, {7, true, true},
+	}
+	for i, s := range specs {
+		s := s
+		kind := "plain"
+		if s.atomic {
+			kind = "atomic"
+		}
+		pace := "short"
+		if s.long {
+			pace = "long"
+		}
+		add(fmt.Sprintf("adhoc_spin%02d_b%d_%s_%s", i, s.blocks, kind, pace),
+			"adhoc-spin", 2, func() *ir.Program {
+				return adhocFlag(s.blocks, s.atomic, s.long)
+			})
+	}
+
+	// --- Ad-hoc, hard (8): patterns the classifier cannot match -------------
+	for i := 0; i < 3; i++ {
+		i := i
+		add(fmt.Sprintf("adhoc_funcptr_%d", i), "adhoc-hard", 2, func() *ir.Program {
+			return adhocFuncPtr(i)
+		})
+	}
+	for i := 0; i < 3; i++ {
+		i := i
+		add(fmt.Sprintf("adhoc_ringqueue_%d", i), "adhoc-hard", 2+i, func() *ir.Program {
+			return adhocRingQueue(1 + i)
+		})
+	}
+	for i := 0; i < 2; i++ {
+		i := i
+		add(fmt.Sprintf("adhoc_retry_counter_%d", i), "adhoc-hard", 2, func() *ir.Program {
+			return adhocRetryCounter(i)
+		})
+	}
+
+	// --- Kernel-assisted event (1): invisible to the universal detector ------
+	add("event_wait_kernel", "lib-event", 2, func() *ir.Program { return kernelEvent() })
+
+	return cases
+}
+
+// mutexCounter: n workers increment SHARED rounds times under one mutex.
+func mutexCounter(n, rounds int) *ir.Program {
+	c := newCB(fmt.Sprintf("mutex_counter_%d", n))
+	mu := c.b.Global("MU")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*20)
+		for r := 0; r < rounds; r++ {
+			c.lib.Lock(f, mu, "MU")
+			touch(f, shared, "SHARED")
+			c.lib.Unlock(f, mu, "MU")
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, shared)
+	return c.build()
+}
+
+// mutexPartitioned: two shared cells, each consistently guarded by its own
+// mutex.
+func mutexPartitioned(n int) *ir.Program {
+	c := newCB("mutex_partitioned")
+	mu1 := c.b.Global("MU1")
+	mu2 := c.b.Global("MU2")
+	s1 := c.b.Global("S1")
+	s2 := c.b.Global("S2")
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*20)
+		if wi%2 == 0 {
+			c.lib.Lock(f, mu1, "MU1")
+			touch(f, s1, "S1")
+			c.lib.Unlock(f, mu1, "MU1")
+		} else {
+			c.lib.Lock(f, mu2, "MU2")
+			touch(f, s2, "S2")
+			c.lib.Unlock(f, mu2, "MU2")
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, s1, s2)
+	return c.build()
+}
+
+// mutexNested: both threads take MU1 then MU2 (same order, no deadlock) and
+// touch SHARED under both.
+func mutexNested() *ir.Program {
+	c := newCB("mutex_nested")
+	mu1 := c.b.Global("MU1")
+	mu2 := c.b.Global("MU2")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", 2)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*20)
+		c.lib.Lock(f, mu1, "MU1")
+		c.lib.Lock(f, mu2, "MU2")
+		touch(f, shared, "SHARED")
+		c.lib.Unlock(f, mu2, "MU2")
+		c.lib.Unlock(f, mu1, "MU1")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, shared)
+	return c.build()
+}
+
+// cvProducerConsumer: one producer sets DATA and a predicate under a mutex
+// and signals; consumers wait on the predicate and read DATA.
+func cvProducerConsumer(consumers int) *ir.Program {
+	c := newCB("cv_pc")
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	pred := c.b.Global("PRED")
+	data := c.b.Global("DATA")
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	c.lib.Lock(p, mu, "MU")
+	touch(p, data, "DATA")
+	one := p.Const(1)
+	a := p.Addr(pred, "PRED")
+	p.Store(a, one, "PRED")
+	for i := 0; i < consumers; i++ {
+		c.lib.Signal(p, cv, "CV")
+	}
+	c.lib.Unlock(p, mu, "MU")
+	p.Ret(ir.NoReg)
+
+	names := []string{"producer"}
+	for ci := 0; ci < consumers; ci++ {
+		name := fmt.Sprintf("consumer%d", ci)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("consumer.c", 10+ci*30)
+		c.lib.Lock(f, mu, "MU")
+		zero := f.Const(0)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		pv := f.LoadAddr(pred)
+		waiting := f.CmpEQ(pv, zero)
+		f.Br(waiting, body, exit)
+		f.SetBlock(body)
+		c.lib.Wait(f, cv, mu, "CV", "MU")
+		f.Jmp(header)
+		f.SetBlock(exit)
+		_ = f.LoadAddr(data)
+		c.lib.Unlock(f, mu, "MU")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, data)
+	return c.build()
+}
+
+// cvBroadcast: the producer signals once; because the condition variable is
+// a sequence counter, a single bump wakes every waiter (broadcast
+// semantics). Waiters not yet asleep see the predicate under the mutex.
+func cvBroadcast(consumers int) *ir.Program {
+	c := newCB("cv_broadcast")
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	pred := c.b.Global("PRED")
+	data := c.b.Global("DATA")
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	c.lib.Lock(p, mu, "MU")
+	touch(p, data, "DATA")
+	one := p.Const(1)
+	p.Store(p.Addr(pred, "PRED"), one, "PRED")
+	c.lib.Signal(p, cv, "CV")
+	c.lib.Unlock(p, mu, "MU")
+	p.Ret(ir.NoReg)
+
+	names := []string{"producer"}
+	for ci := 0; ci < consumers; ci++ {
+		name := fmt.Sprintf("consumer%d", ci)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("consumer.c", 10+ci*30)
+		c.lib.Lock(f, mu, "MU")
+		zero := f.Const(0)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		pv := f.LoadAddr(pred)
+		waiting := f.CmpEQ(pv, zero)
+		f.Br(waiting, body, exit)
+		f.SetBlock(body)
+		c.lib.Wait(f, cv, mu, "CV", "MU")
+		f.Jmp(header)
+		f.SetBlock(exit)
+		_ = f.LoadAddr(data)
+		c.lib.Unlock(f, mu, "MU")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, data)
+	return c.build()
+}
+
+// cvTwoStage: stage1 -> stage2 -> stage3 pipeline over two cv-protected
+// predicates.
+func cvTwoStage() *ir.Program {
+	c := newCB("cv_two_stage")
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	p1 := c.b.Global("P1")
+	p2 := c.b.Global("P2")
+	data := c.b.Global("DATA")
+
+	stage := func(name string, waitOn, setNext int64, waitSym, setSym string, last bool) {
+		f := c.b.Func(name, 0)
+		f.SetLoc(name+".c", 10)
+		c.lib.Lock(f, mu, "MU")
+		if waitOn != 0 {
+			zero := f.Const(0)
+			header := f.NewBlock()
+			body := f.NewBlock()
+			exit := f.NewBlock()
+			f.Jmp(header)
+			f.SetBlock(header)
+			pv := f.Load(f.Addr(waitOn, waitSym), waitSym)
+			waiting := f.CmpEQ(pv, zero)
+			f.Br(waiting, body, exit)
+			f.SetBlock(body)
+			c.lib.Wait(f, cv, mu, "CV", "MU")
+			f.Jmp(header)
+			f.SetBlock(exit)
+		}
+		touch(f, data, "DATA")
+		if !last {
+			one := f.Const(1)
+			f.Store(f.Addr(setNext, setSym), one, setSym)
+			c.lib.Signal(f, cv, "CV")
+			c.lib.Signal(f, cv, "CV")
+		}
+		c.lib.Unlock(f, mu, "MU")
+		f.Ret(ir.NoReg)
+	}
+	stage("stage1", 0, p1, "", "P1", false)
+	stage("stage2", p1, p2, "P1", "P2", false)
+	stage("stage3", p2, 0, "P2", "", true)
+	c.mainSpawnJoin([]string{"stage1", "stage2", "stage3"}, data)
+	return c.build()
+}
+
+// barrierPhases: n workers, phases rounds; every worker writes only its own
+// cells, separated by pthread barriers. Race-free with disjoint data (the
+// DRD baseline has no barrier model, but nothing is shared across it here).
+func barrierPhases(n, phases int) *ir.Program {
+	c := newCB(fmt.Sprintf("barrier_phases_%d", n))
+	cells := c.b.GlobalArray("CELLS", n*phases)
+	bars := make([]int64, phases)
+	for ph := range bars {
+		bars[ph] = c.b.Global(fmt.Sprintf("BAR%d", ph))
+	}
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		for ph := 0; ph < phases; ph++ {
+			touchIdx(f, cells, "CELLS", ph*n+wi)
+			c.lib.Barrier(f, bars[ph], fmt.Sprintf("BAR%d", ph), n)
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, cells)
+	return c.build()
+}
+
+// semHandoff: producers touch DATA then post; the consumer waits once per
+// producer before reading DATA.
+func semHandoff(producers int) *ir.Program {
+	c := newCB("sem_handoff")
+	sem := c.b.Global("SEM")
+	mu := c.b.Global("MU")
+	data := c.b.Global("DATA")
+	names := []string{}
+	for pi := 0; pi < producers; pi++ {
+		name := fmt.Sprintf("producer%d", pi)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("producer.c", 10+pi*10)
+		c.lib.Lock(f, mu, "MU")
+		touch(f, data, "DATA")
+		c.lib.Unlock(f, mu, "MU")
+		c.lib.SemPost(f, sem, "SEM")
+		f.Ret(ir.NoReg)
+	}
+	cons := c.b.Func("consumer", 0)
+	cons.SetLoc("consumer.c", 10)
+	for pi := 0; pi < producers; pi++ {
+		c.lib.SemWait(cons, sem, "SEM")
+	}
+	_ = cons.LoadAddr(data)
+	cons.Ret(ir.NoReg)
+	names = append(names, "consumer")
+	c.mainSpawnJoin(names, data)
+	return c.build()
+}
+
+// semChain: w0 -> w1 -> w2 -> w3 pass a token through semaphores, each
+// touching DATA in turn.
+func semChain(n int) *ir.Program {
+	c := newCB("sem_chain")
+	data := c.b.Global("DATA")
+	sems := make([]int64, n)
+	for i := range sems {
+		sems[i] = c.b.Global(fmt.Sprintf("SEM%d", i))
+	}
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		if wi > 0 {
+			c.lib.SemWait(f, sems[wi], fmt.Sprintf("SEM%d", wi))
+		}
+		touch(f, data, "DATA")
+		if wi+1 < n {
+			c.lib.SemPost(f, sems[wi+1], fmt.Sprintf("SEM%d", wi+1))
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, data)
+	return c.build()
+}
+
+// semPingPong: two threads alternate twice through two semaphores.
+func semPingPong() *ir.Program {
+	c := newCB("sem_pingpong")
+	s1 := c.b.Global("S1")
+	s2 := c.b.Global("S2")
+	data := c.b.Global("DATA")
+
+	a := c.b.Func("ping", 0)
+	a.SetLoc("ping.c", 10)
+	touch(a, data, "DATA")
+	c.lib.SemPost(a, s1, "S1")
+	c.lib.SemWait(a, s2, "S2")
+	touch(a, data, "DATA")
+	c.lib.SemPost(a, s1, "S1")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("pong", 0)
+	b.SetLoc("pong.c", 10)
+	c.lib.SemWait(b, s1, "S1")
+	touch(b, data, "DATA")
+	c.lib.SemPost(b, s2, "S2")
+	c.lib.SemWait(b, s1, "S1")
+	_ = b.LoadAddr(data)
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"ping", "pong"}, data)
+	return c.build()
+}
+
+// rwlockReaders: one writer under the write lock, n readers under read
+// locks.
+func rwlockReaders(readers int) *ir.Program {
+	c := newCB("rwlock_readers")
+	rw := c.b.Global("RW")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	a := w.Addr(rw, "RW")
+	w.Call(c.lib.Name("rwlock_wrlock"), a)
+	touch(w, data, "DATA")
+	a2 := w.Addr(rw, "RW")
+	w.Call(c.lib.Name("rwlock_wrunlock"), a2)
+	w.Ret(ir.NoReg)
+
+	names := []string{"writer"}
+	for ri := 0; ri < readers; ri++ {
+		name := fmt.Sprintf("reader%d", ri)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("reader.c", 10+ri*10)
+		ra := f.Addr(rw, "RW")
+		f.Call(c.lib.Name("rwlock_rdlock"), ra)
+		_ = f.LoadAddr(data)
+		ra2 := f.Addr(rw, "RW")
+		f.Call(c.lib.Name("rwlock_rdunlock"), ra2)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, data)
+	return c.build()
+}
+
+// onceInit: n threads race to once_enter; the winner initializes SHARED and
+// calls once_done; everyone then reads SHARED.
+func onceInit(n int) *ir.Program {
+	c := newCB("once_init")
+	once := c.b.Global("ONCE")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		oa := f.Addr(once, "ONCE")
+		won := f.Call(c.lib.Name("once_enter"), oa)
+		initB := f.NewBlock()
+		after := f.NewBlock()
+		f.Br(won, initB, after)
+		f.SetBlock(initB)
+		touch(f, shared, "SHARED")
+		oa2 := f.Addr(once, "ONCE")
+		f.Call(c.lib.Name("once_done"), oa2)
+		f.Jmp(after)
+		f.SetBlock(after)
+		_ = f.LoadAddr(shared)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, shared)
+	return c.build()
+}
+
+// cvQueuePipeline: a producer pushes item indices through the condvar
+// queue; consumers pop and read the payload cell published before the push.
+func cvQueuePipeline(consumers, itemsPerConsumer int) *ir.Program {
+	c := newCB("cvqueue")
+	items := consumers * itemsPerConsumer
+	payload := c.b.GlobalArray("PAYLOAD", items)
+	q := synclib.NewQueue(c.lib, "q", items+4)
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	for i := 0; i < items; i++ {
+		touchIdx(p, payload, "PAYLOAD", i)
+		iv := p.Const(int64(i))
+		q.Put(p, "q", iv)
+	}
+	p.Ret(ir.NoReg)
+
+	names := []string{"producer"}
+	for ci := 0; ci < consumers; ci++ {
+		name := fmt.Sprintf("consumer%d", ci)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("consumer.c", 10+ci*10)
+		for k := 0; k < itemsPerConsumer; k++ {
+			v := q.Get(f, "q")
+			_ = f.LoadIdx(payload, v, "PAYLOAD")
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, payload)
+	return c.build()
+}
+
+// joinSequential: parent writes, child writes, parent writes again after the
+// join — all ordered by spawn/join edges.
+func joinSequential() *ir.Program {
+	c := newCB("join_sequential")
+	data := c.b.Global("DATA")
+
+	ch := c.b.Func("child", 0)
+	ch.SetLoc("child.c", 10)
+	touch(ch, data, "DATA")
+	ch.Ret(ir.NoReg)
+
+	m := c.b.Func("main", 0)
+	m.SetLoc("main.c", 1)
+	touch(m, data, "DATA")
+	tid := m.Spawn("child")
+	m.Join(tid)
+	touch(m, data, "DATA")
+	m.Ret(ir.NoReg)
+	return c.build()
+}
+
+// joinTree: parent spawns two children, each spawning one grandchild; every
+// level touches its own cell, parent reads all after joins.
+func joinTree(n int) *ir.Program {
+	c := newCB("join_tree")
+	cells := c.b.GlobalArray("CELLS", n)
+	leaf := func(i int) string {
+		name := fmt.Sprintf("leaf%d", i)
+		f := c.b.Func(name, 0)
+		f.SetLoc("leaf.c", 10+i*10)
+		touchIdx(f, cells, "CELLS", i)
+		f.Ret(ir.NoReg)
+		return name
+	}
+	l2 := leaf(2)
+	l3 := leaf(3)
+	mid := func(i int, leafName string) string {
+		name := fmt.Sprintf("mid%d", i)
+		f := c.b.Func(name, 0)
+		f.SetLoc("mid.c", 10+i*10)
+		touchIdx(f, cells, "CELLS", i)
+		tid := f.Spawn(leafName)
+		f.Join(tid)
+		f.Ret(ir.NoReg)
+		return name
+	}
+	m0 := mid(0, l2)
+	m1 := mid(1, l3)
+	c.mainSpawnJoin([]string{m0, m1}, cells)
+	return c.build()
+}
+
+// joinWide: n children each touch their own cell; main reads them after the
+// joins.
+func joinWide(n int) *ir.Program {
+	c := newCB("join_wide")
+	cells := c.b.GlobalArray("CELLS", n)
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*5)
+		touchIdx(f, cells, "CELLS", wi)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, cells)
+	return c.build()
+}
+
+// mixedLockSem: workers update SHARED under a mutex, then post; a collector
+// waits for both and reads.
+func mixedLockSem() *ir.Program {
+	c := newCB("mixed_lock_sem")
+	mu := c.b.Global("MU")
+	sem := c.b.Global("SEM")
+	shared := c.b.Global("SHARED")
+	names := []string{}
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("w%d", i)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+i*10)
+		c.lib.Lock(f, mu, "MU")
+		touch(f, shared, "SHARED")
+		c.lib.Unlock(f, mu, "MU")
+		c.lib.SemPost(f, sem, "SEM")
+		f.Ret(ir.NoReg)
+	}
+	col := c.b.Func("collector", 0)
+	col.SetLoc("collector.c", 10)
+	c.lib.SemWait(col, sem, "SEM")
+	c.lib.SemWait(col, sem, "SEM")
+	_ = col.LoadAddr(shared)
+	col.Ret(ir.NoReg)
+	names = append(names, "collector")
+	c.mainSpawnJoin(names, shared)
+	return c.build()
+}
+
+// mixedLockCvSem: a producer/consumer pair over a cv plus a semaphore-gated
+// finalizer.
+func mixedLockCvSem() *ir.Program {
+	c := newCB("mixed_lock_cv_sem")
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	pred := c.b.Global("PRED")
+	sem := c.b.Global("SEM")
+	data := c.b.Global("DATA")
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	c.lib.Lock(p, mu, "MU")
+	touch(p, data, "DATA")
+	one := p.Const(1)
+	p.Store(p.Addr(pred, "PRED"), one, "PRED")
+	c.lib.Signal(p, cv, "CV")
+	c.lib.Unlock(p, mu, "MU")
+	p.Ret(ir.NoReg)
+
+	cons := c.b.Func("consumer", 0)
+	cons.SetLoc("consumer.c", 10)
+	c.lib.Lock(cons, mu, "MU")
+	zero := cons.Const(0)
+	header := cons.NewBlock()
+	body := cons.NewBlock()
+	exit := cons.NewBlock()
+	cons.Jmp(header)
+	cons.SetBlock(header)
+	pv := cons.LoadAddr(pred)
+	waiting := cons.CmpEQ(pv, zero)
+	cons.Br(waiting, body, exit)
+	cons.SetBlock(body)
+	c.lib.Wait(cons, cv, mu, "CV", "MU")
+	cons.Jmp(header)
+	cons.SetBlock(exit)
+	touch(cons, data, "DATA")
+	c.lib.Unlock(cons, mu, "MU")
+	c.lib.SemPost(cons, sem, "SEM")
+	cons.Ret(ir.NoReg)
+
+	fin := c.b.Func("finalizer", 0)
+	fin.SetLoc("finalizer.c", 10)
+	c.lib.SemWait(fin, sem, "SEM")
+	_ = fin.LoadAddr(data)
+	fin.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"producer", "consumer", "finalizer"}, data)
+	return c.build()
+}
+
+// mixedBarrierMutex: workers reduce into a mutex-protected accumulator, hit
+// a barrier, then read the total.
+func mixedBarrierMutex(n int) *ir.Program {
+	c := newCB("mixed_barrier_mutex")
+	mu := c.b.Global("MU")
+	bar := c.b.Global("BAR")
+	total := c.b.Global("TOTAL")
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		c.lib.Lock(f, mu, "MU")
+		touch(f, total, "TOTAL")
+		c.lib.Unlock(f, mu, "MU")
+		c.lib.Barrier(f, bar, "BAR", n)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, total)
+	return c.build()
+}
+
+// mixedQueueSem: producer pushes through the cv queue, consumer pops and
+// posts a semaphore for the finalizer.
+func mixedQueueSem() *ir.Program {
+	c := newCB("mixed_queue_sem")
+	sem := c.b.Global("SEM")
+	data := c.b.Global("DATA")
+	q := synclib.NewQueue(c.lib, "mq", 8)
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	touch(p, data, "DATA")
+	one := p.Const(1)
+	q.Put(p, "mq", one)
+	p.Ret(ir.NoReg)
+
+	cons := c.b.Func("consumer", 0)
+	cons.SetLoc("consumer.c", 10)
+	_ = q.Get(cons, "mq")
+	touch(cons, data, "DATA")
+	c.lib.SemPost(cons, sem, "SEM")
+	cons.Ret(ir.NoReg)
+
+	fin := c.b.Func("finalizer", 0)
+	fin.SetLoc("finalizer.c", 10)
+	c.lib.SemWait(fin, sem, "SEM")
+	_ = fin.LoadAddr(data)
+	fin.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"producer", "consumer", "finalizer"}, data)
+	return c.build()
+}
+
+// adhocFlag is the canonical ad-hoc case: writer touches DATA and raises
+// FLAG; the spinner waits in a `blocks`-block spinning read loop and then
+// touches DATA. Race-free; only spin-aware detectors can tell.
+func adhocFlag(blocks int, atomic, long bool) *ir.Program {
+	c := newCB("adhoc_flag")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+	scratch := c.b.Global("SCRATCH")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	touch(w, data, "DATA")
+	if long {
+		filler(w, scratch, "SCRATCH", fillerEvents)
+	}
+	setFlag(w, flag, "FLAG", atomic)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10)
+	spinWait(r, flag, "FLAG", blocks, atomic)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner"}, data)
+	return c.build()
+}
+
+// adhocFuncPtr: the spin condition is evaluated through a function pointer,
+// so the classifier cannot slice the loop (the bodytrack pathology).
+func adhocFuncPtr(variant int) *ir.Program {
+	c := newCB("adhoc_funcptr")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+
+	chk := c.b.Func("check_ready", 0)
+	chk.SetLoc("check.c", 10)
+	v := chk.LoadAddr(flag)
+	chk.Ret(v)
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10+variant)
+	touch(w, data, "DATA")
+	setFlag(w, flag, "FLAG", false)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10+variant)
+	fp := r.FuncIndex("check_ready")
+	header := r.NewBlock()
+	body := r.NewBlock()
+	exit := r.NewBlock()
+	r.Jmp(header)
+	r.SetBlock(header)
+	ready := r.CallIndirect(fp)
+	r.Br(ready, exit, body)
+	r.SetBlock(body)
+	r.Yield()
+	r.Jmp(header)
+	r.SetBlock(exit)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner"}, data)
+	return c.build()
+}
+
+// adhocRingQueue: payload published through the obscure lock-free ring
+// queue. Race-free in reality (the consumer only claims indices the
+// producer published), but no detector configuration can see the
+// producer→consumer dependency.
+func adhocRingQueue(consumers int) *ir.Program {
+	c := newCB("adhoc_ringqueue")
+	items := consumers * 2
+	payload := c.b.GlobalArray("PAYLOAD", items)
+	_ = synclib.NewRingQueue(c.b, "rq", items+4) // installs rq_put / rq_get
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	for i := 0; i < items; i++ {
+		touchIdx(p, payload, "PAYLOAD", i)
+		iv := p.Const(int64(i))
+		p.Call("rq_put", iv)
+	}
+	p.Ret(ir.NoReg)
+
+	names := []string{"producer"}
+	for ci := 0; ci < consumers; ci++ {
+		name := fmt.Sprintf("consumer%d", ci)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("consumer.c", 10+ci*10)
+		for k := 0; k < 2; k++ {
+			v := f.Call("rq_get")
+			_ = f.LoadIdx(payload, v, "PAYLOAD")
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names, payload)
+	return c.build()
+}
+
+// adhocRetryCounter: the wait loop's condition involves a retry counter —
+// an induction variable — so the classifier rejects it even though the
+// program is a perfectly ordinary flag hand-off.
+func adhocRetryCounter(variant int) *ir.Program {
+	c := newCB("adhoc_retry")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10+variant)
+	touch(w, data, "DATA")
+	setFlag(w, flag, "FLAG", false)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10+variant)
+	zero := r.Const(0)
+	one := r.Const(1)
+	limit := r.Const(1 << 40)
+	n := r.Mov(zero)
+	header := r.NewBlock()
+	body := r.NewBlock()
+	exit := r.NewBlock()
+	r.Jmp(header)
+	r.SetBlock(header)
+	v := r.LoadAddr(flag)
+	unset := r.CmpEQ(v, zero)
+	patient := r.CmpLT(n, limit)
+	both := r.Bin(ir.OpAnd, unset, patient)
+	r.Br(both, body, exit)
+	r.SetBlock(body)
+	r.BinTo(ir.OpAdd, n, n, one)
+	r.Yield()
+	r.Jmp(header)
+	r.SetBlock(exit)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner"}, data)
+	return c.build()
+}
+
+// kernelEvent: hand-off through the pthread kernel-event primitive. Known
+// libraries intercept it; the universal detector cannot classify its wait
+// loop (function-pointer condition inside the library).
+func kernelEvent() *ir.Program {
+	c := newCB("kernel_event")
+	evt := c.b.Global("EVT")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	touch(w, data, "DATA")
+	a := w.Addr(evt, "EVT")
+	w.Call(c.lib.Name("evt_set"), a)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("waiter", 0)
+	r.SetLoc("waiter.c", 10)
+	a2 := r.Addr(evt, "EVT")
+	r.Call(c.lib.Name("evt_wait"), a2)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "waiter"}, data)
+	return c.build()
+}

@@ -1,0 +1,792 @@
+package dataracetest
+
+import (
+	"fmt"
+
+	"adhocrace/internal/ir"
+)
+
+// racyCases returns the suite's 48 racy cases. Category semantics:
+//
+//   - "racy-basic": plainly unordered conflicting accesses; every tool
+//     configuration should report them.
+//   - "racy-window": the conflicting accesses are separated by thousands of
+//     events; detectors with bounded access history (DRD's recycled
+//     segments) can no longer pair them.
+//   - "racy-hidden": lock-discipline violations whose accesses are ordered
+//     by fortuitous, semantically unrelated synchronization in every
+//     execution. Happens-before detectors (all four paper configurations)
+//     miss them; the pure-lockset Eraser reference catches them.
+//   - "racy-atomic": the shared cell is accessed atomically by one side and
+//     plainly by the other. Helgrind+ lib's coarse atomic sync-variable
+//     heuristic suppresses it; the spin feature's exact classification
+//     restores the report (the paper's recovered false negative).
+//   - "racy-adhoc": ad-hoc synchronization is present but insufficient.
+func racyCases(startID int) []Case {
+	var cases []Case
+	add := func(name, cat string, threads int, build func() *ir.Program) {
+		cases = append(cases, Case{
+			ID: startID + len(cases), Name: name, Category: cat,
+			Racy: true, Threads: threads, Build: build,
+		})
+	}
+
+	// --- Basic races (20) -------------------------------------------------
+	add("ww_two_threads", "racy-basic", 2, func() *ir.Program { return racyCounter(2) })
+	add("rw_two_threads", "racy-basic", 2, racyReadWrite)
+	add("ww_four_threads", "racy-basic", 4, func() *ir.Program { return racyCounter(4) })
+	add("ww_eight_threads", "racy-basic", 8, func() *ir.Program { return racyCounter(8) })
+	add("ww_sixteen_threads", "racy-basic", 16, func() *ir.Program { return racyCounter(16) })
+	add("array_neighbor_overlap", "racy-basic", 4, func() *ir.Program { return racyArrayOverlap(4) })
+	add("partial_lock", "racy-basic", 2, racyPartialLock)
+	add("wrong_lock", "racy-basic", 2, racyWrongLock)
+	add("unprotected_readers", "racy-basic", 4, racyUnprotectedReaders)
+	add("race_before_barrier", "racy-basic", 2, racyBeforeBarrier)
+	add("race_after_unlock", "racy-basic", 2, racyAfterUnlock)
+	add("race_beside_cv", "racy-basic", 2, racyBesideCV)
+	add("shared_index_append", "racy-basic", 4, racySharedIndex)
+	add("parent_child_no_join", "racy-basic", 2, racyParentChild)
+	add("sibling_race", "racy-basic", 3, racySiblings)
+	add("lock_released_early", "racy-basic", 2, racyLockReleasedEarly)
+	add("one_forgets_lock", "racy-basic", 4, racyOneForgetsLock)
+	add("boundary_cells", "racy-basic", 4, func() *ir.Program { return racyArrayOverlap(3) })
+	add("sem_wrong_direction", "racy-basic", 2, racySemWrongDirection)
+	add("rwlock_bypassed", "racy-basic", 2, racyRWLockBypassed)
+
+	// --- Window-separated races (12): DRD's recycled history misses them ---
+	for i := 0; i < 12; i++ {
+		i := i
+		threads := 2
+		if i >= 8 {
+			threads = 3
+		}
+		add(fmt.Sprintf("window_race_%02d", i), "racy-window", threads, func() *ir.Program {
+			return racyWindow(i, threads)
+		})
+	}
+
+	// --- Discipline races hidden by fortuitous ordering (7) -----------------
+	add("hidden_by_sem_0", "racy-hidden", 2, func() *ir.Program { return hiddenBySem(0) })
+	add("hidden_by_sem_1", "racy-hidden", 2, func() *ir.Program { return hiddenBySem(1) })
+	add("hidden_by_sem_2", "racy-hidden", 3, func() *ir.Program { return hiddenBySem(2) })
+	add("hidden_by_cv_0", "racy-hidden", 2, func() *ir.Program { return hiddenByCV(0) })
+	add("hidden_by_cv_1", "racy-hidden", 2, func() *ir.Program { return hiddenByCV(1) })
+	add("hidden_by_join_0", "racy-hidden", 2, func() *ir.Program { return hiddenByJoin(0) })
+	add("hidden_by_join_1", "racy-hidden", 2, func() *ir.Program { return hiddenByJoin(1) })
+
+	// --- Mixed atomic/plain access (1) ---------------------------------------
+	add("atomic_plain_mix", "racy-atomic", 2, racyAtomicMix)
+
+	// --- Ad-hoc synchronization present but insufficient (8) -----------------
+	add("flag_before_data", "racy-adhoc", 2, func() *ir.Program { return racyFlagBeforeData(2) })
+	add("flag_covers_partial", "racy-adhoc", 3, racyFlagPartial)
+	add("two_spinners_collide", "racy-adhoc", 3, racyTwoSpinners)
+	add("flag_then_more_writes", "racy-adhoc", 2, func() *ir.Program { return racyFlagBeforeData(3) })
+	add("spin_wrong_flag", "racy-adhoc", 3, racyWrongFlag)
+	add("partial_adhoc_barrier", "racy-adhoc", 3, racyPartialAdhocBarrier)
+	add("flag_before_data_7b", "racy-adhoc", 2, func() *ir.Program { return racyFlagBeforeData(7) })
+	add("third_thread_unsynced", "racy-adhoc", 3, racyThirdThread)
+
+	return cases
+}
+
+// racyCounter: n threads increment SHARED with no synchronization.
+func racyCounter(n int) *ir.Program {
+	c := newCB("racy_counter")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		touch(f, shared, "SHARED")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyReadWrite: one writer, one reader, nothing between them.
+func racyReadWrite() *ir.Program {
+	c := newCB("racy_rw")
+	shared := c.b.Global("SHARED")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	one := w.Const(1)
+	w.StoreAddr(shared, one)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("reader", 0)
+	r.SetLoc("reader.c", 10)
+	_ = r.LoadAddr(shared)
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "reader"})
+	return c.build()
+}
+
+// racyArrayOverlap: each worker touches its own cell and its right
+// neighbor's, so adjacent workers collide.
+func racyArrayOverlap(n int) *ir.Program {
+	c := newCB("racy_array")
+	cells := c.b.GlobalArray("CELLS", n)
+	names := workerNames("w", n)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		touchIdx(f, cells, "CELLS", wi)
+		touchIdx(f, cells, "CELLS", (wi+1)%n)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyPartialLock: thread 1 locks properly; thread 2 touches the shared
+// cell without the lock.
+func racyPartialLock() *ir.Program {
+	c := newCB("racy_partial_lock")
+	mu := c.b.Global("MU")
+	shared := c.b.Global("SHARED")
+
+	a := c.b.Func("locked", 0)
+	a.SetLoc("locked.c", 10)
+	c.lib.Lock(a, mu, "MU")
+	touch(a, shared, "SHARED")
+	c.lib.Unlock(a, mu, "MU")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("unlocked", 0)
+	b.SetLoc("unlocked.c", 10)
+	touch(b, shared, "SHARED")
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"locked", "unlocked"})
+	return c.build()
+}
+
+// racyWrongLock: both threads lock, but different mutexes.
+func racyWrongLock() *ir.Program {
+	c := newCB("racy_wrong_lock")
+	mu1 := c.b.Global("MU1")
+	mu2 := c.b.Global("MU2")
+	shared := c.b.Global("SHARED")
+
+	a := c.b.Func("w1", 0)
+	a.SetLoc("w1.c", 10)
+	c.lib.Lock(a, mu1, "MU1")
+	touch(a, shared, "SHARED")
+	c.lib.Unlock(a, mu1, "MU1")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("w2", 0)
+	b.SetLoc("w2.c", 10)
+	c.lib.Lock(b, mu2, "MU2")
+	touch(b, shared, "SHARED")
+	c.lib.Unlock(b, mu2, "MU2")
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"w1", "w2"})
+	return c.build()
+}
+
+// racyUnprotectedReaders: one writer, three readers, no synchronization.
+func racyUnprotectedReaders() *ir.Program {
+	c := newCB("racy_readers")
+	shared := c.b.Global("SHARED")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	one := w.Const(7)
+	w.StoreAddr(shared, one)
+	w.Ret(ir.NoReg)
+
+	names := []string{"writer"}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("reader%d", i)
+		names = append(names, name)
+		f := c.b.Func(name, 0)
+		f.SetLoc("reader.c", 10+i*10)
+		_ = f.LoadAddr(shared)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyBeforeBarrier: both threads touch X before meeting at a barrier.
+func racyBeforeBarrier() *ir.Program {
+	c := newCB("racy_before_barrier")
+	bar := c.b.Global("BAR")
+	x := c.b.Global("X")
+	names := workerNames("w", 2)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		touch(f, x, "X")
+		c.lib.Barrier(f, bar, "BAR", 2)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyAfterUnlock: both threads read under the lock but write after
+// releasing it.
+func racyAfterUnlock() *ir.Program {
+	c := newCB("racy_after_unlock")
+	mu := c.b.Global("MU")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", 2)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		c.lib.Lock(f, mu, "MU")
+		v := f.LoadAddr(shared)
+		c.lib.Unlock(f, mu, "MU")
+		one := f.Const(1)
+		v1 := f.Add(v, one)
+		f.StoreAddr(shared, v1) // outside the critical section
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyBesideCV: a correct cv hand-off on A; the race is on B, written by the
+// producer after its unlock and by the consumer after its wakeup.
+func racyBesideCV() *ir.Program {
+	c := newCB("racy_beside_cv")
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	pred := c.b.Global("PRED")
+	bvar := c.b.Global("B")
+
+	p := c.b.Func("producer", 0)
+	p.SetLoc("producer.c", 10)
+	c.lib.Lock(p, mu, "MU")
+	one := p.Const(1)
+	p.Store(p.Addr(pred, "PRED"), one, "PRED")
+	c.lib.Signal(p, cv, "CV")
+	c.lib.Unlock(p, mu, "MU")
+	touch(p, bvar, "B") // after the release: unordered with the consumer
+	p.Ret(ir.NoReg)
+
+	cons := c.b.Func("consumer", 0)
+	cons.SetLoc("consumer.c", 10)
+	c.lib.Lock(cons, mu, "MU")
+	zero := cons.Const(0)
+	header := cons.NewBlock()
+	body := cons.NewBlock()
+	exit := cons.NewBlock()
+	cons.Jmp(header)
+	cons.SetBlock(header)
+	pv := cons.LoadAddr(pred)
+	waiting := cons.CmpEQ(pv, zero)
+	cons.Br(waiting, body, exit)
+	cons.SetBlock(body)
+	c.lib.Wait(cons, cv, mu, "CV", "MU")
+	cons.Jmp(header)
+	cons.SetBlock(exit)
+	c.lib.Unlock(cons, mu, "MU")
+	touch(cons, bvar, "B")
+	cons.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"producer", "consumer"})
+	return c.build()
+}
+
+// racySharedIndex: four threads append through a shared unprotected index.
+func racySharedIndex() *ir.Program {
+	c := newCB("racy_shared_index")
+	idx := c.b.Global("IDX")
+	arr := c.b.GlobalArray("ARR", 16)
+	names := workerNames("w", 4)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		i := f.LoadAddr(idx)
+		val := f.Const(int64(wi))
+		f.StoreIdx(arr, i, val, "ARR")
+		one := f.Const(1)
+		i1 := f.Add(i, one)
+		f.StoreAddr(idx, i1)
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyParentChild: the parent writes X after spawning a child that also
+// writes X; the join comes too late.
+func racyParentChild() *ir.Program {
+	c := newCB("racy_parent_child")
+	x := c.b.Global("X")
+
+	ch := c.b.Func("child", 0)
+	ch.SetLoc("child.c", 10)
+	touch(ch, x, "X")
+	ch.Ret(ir.NoReg)
+
+	m := c.b.Func("main", 0)
+	m.SetLoc("main.c", 1)
+	tid := m.Spawn("child")
+	touch(m, x, "X")
+	m.Join(tid)
+	m.Ret(ir.NoReg)
+	return c.build()
+}
+
+// racySiblings: two children race on X while a third works on its own cell.
+func racySiblings() *ir.Program {
+	c := newCB("racy_siblings")
+	x := c.b.Global("X")
+	y := c.b.Global("Y")
+	for i := 0; i < 2; i++ {
+		f := c.b.Func(fmt.Sprintf("racer%d", i), 0)
+		f.SetLoc("racer.c", 10+i*10)
+		touch(f, x, "X")
+		f.Ret(ir.NoReg)
+	}
+	q := c.b.Func("quiet", 0)
+	q.SetLoc("quiet.c", 10)
+	touch(q, y, "Y")
+	q.Ret(ir.NoReg)
+	c.mainSpawnJoin([]string{"racer0", "racer1", "quiet"})
+	return c.build()
+}
+
+// racyLockReleasedEarly: one thread reads the cell after releasing the lock
+// while the other writes it under the lock — read/write race outside the
+// critical section.
+func racyLockReleasedEarly() *ir.Program {
+	c := newCB("racy_released_early")
+	mu := c.b.Global("MU")
+	shared := c.b.Global("SHARED")
+
+	// Both threads write under the lock but re-read after releasing it:
+	// whichever thread locks second, the other's post-unlock read races
+	// with its in-lock write.
+	names := workerNames("w", 2)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		c.lib.Lock(f, mu, "MU")
+		touch(f, shared, "SHARED")
+		c.lib.Unlock(f, mu, "MU")
+		_ = f.LoadAddr(shared) // after the unlock: racy read
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racyOneForgetsLock: three threads use the lock, the fourth forgets it
+// once.
+func racyOneForgetsLock() *ir.Program {
+	c := newCB("racy_one_forgets")
+	mu := c.b.Global("MU")
+	shared := c.b.Global("SHARED")
+	names := workerNames("w", 4)
+	for wi, name := range names {
+		f := c.b.Func(name, 0)
+		f.SetLoc("worker.c", 10+wi*10)
+		if wi == 3 {
+			touch(f, shared, "SHARED")
+		} else {
+			c.lib.Lock(f, mu, "MU")
+			touch(f, shared, "SHARED")
+			c.lib.Unlock(f, mu, "MU")
+		}
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// racySemWrongDirection: both threads touch X before the semaphore edge
+// exists.
+func racySemWrongDirection() *ir.Program {
+	c := newCB("racy_sem_wrong")
+	sem := c.b.Global("SEM")
+	x := c.b.Global("X")
+
+	a := c.b.Func("w1", 0)
+	a.SetLoc("w1.c", 10)
+	touch(a, x, "X")
+	c.lib.SemPost(a, sem, "SEM")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("w2", 0)
+	b.SetLoc("w2.c", 10)
+	touch(b, x, "X") // before waiting: races with w1's touch
+	c.lib.SemWait(b, sem, "SEM")
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"w1", "w2"})
+	return c.build()
+}
+
+// racyRWLockBypassed: one writer uses the write lock; another writes with no
+// lock at all.
+func racyRWLockBypassed() *ir.Program {
+	c := newCB("racy_rw_bypassed")
+	rw := c.b.Global("RW")
+	x := c.b.Global("X")
+
+	a := c.b.Func("locked_writer", 0)
+	a.SetLoc("locked.c", 10)
+	ra := a.Addr(rw, "RW")
+	a.Call(c.lib.Name("rwlock_wrlock"), ra)
+	touch(a, x, "X")
+	ra2 := a.Addr(rw, "RW")
+	a.Call(c.lib.Name("rwlock_wrunlock"), ra2)
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("rogue_writer", 0)
+	b.SetLoc("rogue.c", 10)
+	touch(b, x, "X")
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"locked_writer", "rogue_writer"})
+	return c.build()
+}
+
+// racyWindow: T1 touches X immediately; the other workers grind through a
+// long private filler before touching X. The conflicting accesses are
+// thousands of events apart in every schedule, beyond DRD's history window,
+// while Helgrind+'s unlimited history still pairs them.
+func racyWindow(variant, threads int) *ir.Program {
+	c := newCB(fmt.Sprintf("racy_window_%d", variant))
+	x := c.b.Global("X")
+
+	fast := c.b.Func("fast", 0)
+	fast.SetLoc("fast.c", 10+variant)
+	touch(fast, x, "X")
+	fast.Ret(ir.NoReg)
+
+	names := []string{"fast"}
+	for wi := 1; wi < threads; wi++ {
+		name := fmt.Sprintf("slow%d", wi)
+		names = append(names, name)
+		scratch := c.b.Global(fmt.Sprintf("SCRATCH%d", wi))
+		f := c.b.Func(name, 0)
+		f.SetLoc("slow.c", 10+variant*10+wi)
+		// Stagger fillers so even the slow workers are window-separated
+		// from each other, not only from the fast one.
+		filler(f, scratch, fmt.Sprintf("SCRATCH%d", wi), fillerEvents*wi+variant*200)
+		touch(f, x, "X")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// hiddenBySem: a lock-discipline violation on X whose accesses are ordered
+// in every execution by a semantically unrelated semaphore hand-off.
+func hiddenBySem(variant int) *ir.Program {
+	c := newCB(fmt.Sprintf("hidden_sem_%d", variant))
+	sem := c.b.Global("SEM")
+	x := c.b.Global("X")
+	chain3 := variant == 2
+	var sem2 int64
+	if chain3 {
+		sem2 = c.b.Global("SEM2")
+	}
+
+	a := c.b.Func("first", 0)
+	a.SetLoc("first.c", 10+variant)
+	touch(a, x, "X")
+	c.lib.SemPost(a, sem, "SEM")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("second", 0)
+	b.SetLoc("second.c", 10+variant)
+	c.lib.SemWait(b, sem, "SEM")
+	touch(b, x, "X")
+	if chain3 {
+		c.lib.SemPost(b, sem2, "SEM2")
+	}
+	b.Ret(ir.NoReg)
+
+	names := []string{"first", "second"}
+	if chain3 {
+		third := c.b.Func("third", 0)
+		third.SetLoc("third.c", 10)
+		c.lib.SemWait(third, sem2, "SEM2")
+		touch(third, x, "X")
+		third.Ret(ir.NoReg)
+		names = append(names, "third")
+	}
+	c.mainSpawnJoin(names)
+	return c.build()
+}
+
+// hiddenByCV: the same discipline violation hidden behind a cv hand-off.
+func hiddenByCV(variant int) *ir.Program {
+	c := newCB(fmt.Sprintf("hidden_cv_%d", variant))
+	mu := c.b.Global("MU")
+	cv := c.b.Global("CV")
+	pred := c.b.Global("PRED")
+	x := c.b.Global("X")
+
+	p := c.b.Func("first", 0)
+	p.SetLoc("first.c", 10+variant)
+	touch(p, x, "X")
+	c.lib.Lock(p, mu, "MU")
+	one := p.Const(1)
+	p.Store(p.Addr(pred, "PRED"), one, "PRED")
+	c.lib.Signal(p, cv, "CV")
+	c.lib.Unlock(p, mu, "MU")
+	p.Ret(ir.NoReg)
+
+	q := c.b.Func("second", 0)
+	q.SetLoc("second.c", 10+variant)
+	c.lib.Lock(q, mu, "MU")
+	zero := q.Const(0)
+	header := q.NewBlock()
+	body := q.NewBlock()
+	exit := q.NewBlock()
+	q.Jmp(header)
+	q.SetBlock(header)
+	pv := q.LoadAddr(pred)
+	waiting := q.CmpEQ(pv, zero)
+	q.Br(waiting, body, exit)
+	q.SetBlock(body)
+	c.lib.Wait(q, cv, mu, "CV", "MU")
+	q.Jmp(header)
+	q.SetBlock(exit)
+	c.lib.Unlock(q, mu, "MU")
+	touch(q, x, "X")
+	q.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"first", "second"})
+	return c.build()
+}
+
+// hiddenByJoin: main touches X only after joining the worker that also
+// touched it — sequential in every execution, but unprotected.
+func hiddenByJoin(variant int) *ir.Program {
+	c := newCB(fmt.Sprintf("hidden_join_%d", variant))
+	x := c.b.Global("X")
+
+	w := c.b.Func("worker", 0)
+	w.SetLoc("worker.c", 10+variant)
+	touch(w, x, "X")
+	w.Ret(ir.NoReg)
+
+	m := c.b.Func("main", 0)
+	m.SetLoc("main.c", 1)
+	tid := m.Spawn("worker")
+	m.Join(tid)
+	touch(m, x, "X")
+	m.Ret(ir.NoReg)
+	return c.build()
+}
+
+// racyAtomicMix: T1 updates X atomically, T2 plainly — a genuine race that
+// the coarse atomic sync-variable heuristic hides.
+func racyAtomicMix() *ir.Program {
+	c := newCB("racy_atomic_mix")
+	x := c.b.Global("X")
+
+	a := c.b.Func("atomic_writer", 0)
+	a.SetLoc("atomic.c", 10)
+	one := a.Const(1)
+	addr := a.Addr(x, "X")
+	a.AtomicAdd(addr, one, "X")
+	a.AtomicAdd(addr, one, "X")
+	a.Ret(ir.NoReg)
+
+	b := c.b.Func("plain_writer", 0)
+	b.SetLoc("plain.c", 10)
+	touch(b, x, "X")
+	b.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"atomic_writer", "plain_writer"})
+	return c.build()
+}
+
+// racyFlagBeforeData: the flag is raised before the data is written — the
+// hand-off orders nothing. The spin edge covers only writes preceding the
+// flag store, so every configuration still sees the race.
+func racyFlagBeforeData(blocks int) *ir.Program {
+	c := newCB("racy_flag_before")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	setFlag(w, flag, "FLAG", true)
+	touch(w, data, "DATA") // too late: after the flag
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10)
+	spinWait(r, flag, "FLAG", blocks, true)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner"})
+	return c.build()
+}
+
+// racyFlagPartial: the flag hand-off protects D1 but a third thread touches
+// D2 with no synchronization.
+func racyFlagPartial() *ir.Program {
+	c := newCB("racy_flag_partial")
+	flag := c.b.Global("FLAG")
+	d1 := c.b.Global("D1")
+	d2 := c.b.Global("D2")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	touch(w, d1, "D1")
+	touch(w, d2, "D2")
+	setFlag(w, flag, "FLAG", true)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10)
+	spinWait(r, flag, "FLAG", 3, true)
+	touch(r, d1, "D1")
+	r.Ret(ir.NoReg)
+
+	rogue := c.b.Func("rogue", 0)
+	rogue.SetLoc("rogue.c", 10)
+	touch(rogue, d2, "D2")
+	rogue.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner", "rogue"})
+	return c.build()
+}
+
+// racyTwoSpinners: both spinners are ordered after the writer but not with
+// each other; their post-spin writes collide.
+func racyTwoSpinners() *ir.Program {
+	c := newCB("racy_two_spinners")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	setFlag(w, flag, "FLAG", true)
+	w.Ret(ir.NoReg)
+
+	for i := 0; i < 2; i++ {
+		f := c.b.Func(fmt.Sprintf("spinner%d", i), 0)
+		f.SetLoc("spinner.c", 10+i*20)
+		spinWait(f, flag, "FLAG", 3, true)
+		touch(f, data, "DATA")
+		f.Ret(ir.NoReg)
+	}
+	c.mainSpawnJoin([]string{"writer", "spinner0", "spinner1"})
+	return c.build()
+}
+
+// racyWrongFlag: the spinner waits on FLAG_B (set by a helper) but the data
+// producer signals FLAG_A — the spin edge orders the wrong pair.
+func racyWrongFlag() *ir.Program {
+	c := newCB("racy_wrong_flag")
+	flagA := c.b.Global("FLAG_A")
+	flagB := c.b.Global("FLAG_B")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("producer", 0)
+	w.SetLoc("producer.c", 10)
+	touch(w, data, "DATA")
+	setFlag(w, flagA, "FLAG_A", true)
+	w.Ret(ir.NoReg)
+
+	h := c.b.Func("helper", 0)
+	h.SetLoc("helper.c", 10)
+	setFlag(h, flagB, "FLAG_B", true)
+	h.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10)
+	spinWait(r, flagB, "FLAG_B", 3, true)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"producer", "helper", "spinner"})
+	return c.build()
+}
+
+// racyPartialAdhocBarrier: two of three threads meet at a slide-18-style
+// ad-hoc barrier (mutex-protected counter plus spin); the third skips it
+// and touches the phase data unordered.
+func racyPartialAdhocBarrier() *ir.Program {
+	c := newCB("racy_partial_barrier")
+	mu := c.b.Global("MU")
+	count := c.b.Global("COUNT")
+	x := c.b.Global("X")
+
+	arrive := func(f *ir.FuncBuilder) {
+		c.lib.Lock(f, mu, "MU")
+		touch(f, count, "COUNT")
+		c.lib.Unlock(f, mu, "MU")
+		two := f.Const(2)
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		v := f.LoadAddr(count)
+		ne := f.CmpNE(v, two)
+		f.Br(ne, body, exit)
+		f.SetBlock(body)
+		f.Yield()
+		f.Jmp(header)
+		f.SetBlock(exit)
+	}
+
+	for i := 0; i < 2; i++ {
+		f := c.b.Func(fmt.Sprintf("member%d", i), 0)
+		f.SetLoc("member.c", 10+i*20)
+		if i == 0 {
+			touch(f, x, "X")
+		}
+		arrive(f)
+		if i == 1 {
+			_ = f.LoadAddr(x)
+		}
+		f.Ret(ir.NoReg)
+	}
+
+	rogue := c.b.Func("rogue", 0)
+	rogue.SetLoc("rogue.c", 10)
+	touch(rogue, x, "X") // never arrives at the barrier
+	rogue.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"member0", "member1", "rogue"})
+	return c.build()
+}
+
+// racyThirdThread: a clean flag hand-off between two threads plus a third
+// that touches the data with no synchronization at all.
+func racyThirdThread() *ir.Program {
+	c := newCB("racy_third_thread")
+	flag := c.b.Global("FLAG")
+	data := c.b.Global("DATA")
+
+	w := c.b.Func("writer", 0)
+	w.SetLoc("writer.c", 10)
+	touch(w, data, "DATA")
+	setFlag(w, flag, "FLAG", true)
+	w.Ret(ir.NoReg)
+
+	r := c.b.Func("spinner", 0)
+	r.SetLoc("spinner.c", 10)
+	spinWait(r, flag, "FLAG", 3, true)
+	touch(r, data, "DATA")
+	r.Ret(ir.NoReg)
+
+	rogue := c.b.Func("rogue", 0)
+	rogue.SetLoc("rogue.c", 10)
+	touch(rogue, data, "DATA")
+	rogue.Ret(ir.NoReg)
+
+	c.mainSpawnJoin([]string{"writer", "spinner", "rogue"})
+	return c.build()
+}

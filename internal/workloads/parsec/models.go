@@ -1,0 +1,147 @@
+package parsec
+
+import "adhocrace/internal/ir"
+
+// blackscholes: embarrassingly parallel option pricing; pthread barriers
+// delimit phases but every thread works on its own slice. Clean under every
+// tool (even DRD, which has no barrier model: nothing is shared).
+func blackscholes() *ir.Program {
+	m := newMB("blackscholes")
+	m.disjointFanout("opt", ir.LibPthread, 12, 4, true)
+	return m.build()
+}
+
+// swaptions: pure fork/join simulation, no synchronization at all.
+func swaptions() *ir.Program {
+	m := newMB("swaptions")
+	m.disjointFanout("swap", ir.LibPthread, 16, 4, false)
+	return m.build()
+}
+
+// fluidanimate: fine-grained pthread mutexes around grid cell updates.
+func fluidanimate() *ir.Program {
+	m := newMB("fluidanimate")
+	m.lockFanout("grid", ir.LibPthread, 24, 4, 1)
+	return m.build()
+}
+
+// canneal: lock-protected element swaps.
+func canneal() *ir.Program {
+	m := newMB("canneal")
+	m.lockFanout("elem", ir.LibPthread, 20, 4, 1)
+	return m.build()
+}
+
+// freqmine: OpenMP — a library unknown to every paper configuration's
+// pthread/GLIB interceptors. 151 shared counters under an omp lock swept by
+// 8 threads, plus one function-pointer-guarded pair that even the spin
+// feature cannot match (the paper's residual 2 contexts).
+func freqmine() *ir.Program {
+	m := newMB("freqmine")
+	m.lockFanout("fptree", ir.LibOMP, 152, 8, 2)
+	m.funcptrFanout("fpodd", 1, false)
+	return m.build()
+}
+
+// vips: GLIB threading (known to Helgrind+, unknown to DRD) protecting 430
+// cells swept by two threads, plus ~51 ad-hoc flag hand-offs with a long
+// delay before the flag is raised.
+func vips() *ir.Program {
+	m := newMB("vips")
+	m.lockFanoutBlock("image", ir.LibGlib, 430, 2, 4, 24)
+	m.cvHandoff("eval", ir.LibGlib, 3)
+	m.adhocFanout("wbuf", 51, 1, true)
+	return m.build()
+}
+
+// bodytrack: its thread pool evaluates wait conditions through function
+// pointers (4 cells, with scheduling jitter from an unrelated log mutex),
+// 33 cells behind ordinary matchable spins, and 29 cells behind a
+// retry-counted pthread primitive that only library knowledge can order.
+func bodytrack() *ir.Program {
+	m := newMB("bodytrack")
+	m.adhocFanout("pose", 33, 1, false)
+	m.funcptrFanout("pool", 3, true)
+	m.retryFanout("ticket", 29)
+	m.cvHandoff("frame", ir.LibPthread, 3)
+	m.disjointFanout("grid", ir.LibPthread, 8, 4, true)
+	return m.build()
+}
+
+// facesim: 114 cells published through matchable ad-hoc flags to 8 readers.
+func facesim() *ir.Program {
+	m := newMB("facesim")
+	m.adhocFanout("mesh", 114, 9, false)
+	m.cvHandoff("task", ir.LibPthread, 3)
+	return m.build()
+}
+
+// ferret: the pipeline passes work through an obscure lock-free ring queue
+// (2 residual racy contexts: the queue slot and tail) next to 109 cells of
+// matchable ad-hoc flags read by two stages, and 45 cells behind the
+// retry-counted primitive (the universal detector's residue).
+func ferret() *ir.Program {
+	m := newMB("ferret")
+	m.adhocFanout("rank", 109, 2, false)
+	m.ringQueuePipeline("pipe", 1, 1)
+	m.retryFanout("seg", 45)
+	m.cvHandoff("load", ir.LibPthread, 3)
+	return m.build()
+}
+
+// x264: per-frame ad-hoc synchronization at large scale (12 hand-off groups
+// of 120 row cells each — enough to saturate every history-unlimited
+// detector), obscure inline ring queues accounting for the residual 19
+// contexts, and 9 cells behind the retry-counted primitive.
+func x264() *ir.Program {
+	m := newMB("x264")
+	for g := 0; g < 12; g++ {
+		m.adhocFanout(m.name("frame"), 120, 1, false)
+		m.newPhase() // frames are processed in sequence
+	}
+	// 9 obscure ring queues (slot + tail context each) plus one hand-off
+	// through an 8-block spin loop — just past the spin(7) window: the
+	// residual 19 contexts.
+	for g := 0; g < 9; g++ {
+		m.ringQueuePipeline(m.name("mb"), 1, 1)
+	}
+	m.wideSpinFanout("slice", 8)
+	m.retryFanout("lookahead", 9)
+	m.cvHandoff("enc", ir.LibPthread, 3)
+	return m.build()
+}
+
+// dedup: 1100 cells published through one flag raised only after a long
+// private grind — far beyond DRD's recycled history, so DRD reports
+// nothing, while history-unlimited Helgrind+ lib saturates. Two cells
+// behind the retry-counted primitive are the universal detector's residue.
+func dedup() *ir.Program {
+	m := newMB("dedup")
+	m.adhocFanout("chunk", 1100, 1, true)
+	m.retryFanout("anchor", 2)
+	m.cvHandoff("refine", ir.LibPthread, 3)
+	return m.build()
+}
+
+// streamcluster: heavy pthread-barrier phases sharing 1000 cells across
+// partitions (DRD, with no barrier model, floods), plus the paper's
+// slide-18 custom barrier — mutex-protected counter and a spinning read
+// loop — guarding three reduction cells (plus the counter itself: the 4
+// racy contexts of Helgrind+ lib), and one retry-guarded cell.
+func streamcluster() *ir.Program {
+	m := newMB("streamcluster")
+	m.barrierFanout("points", ir.LibPthread, 50, 4, 6)
+	m.slide18Barrier("reduce", 3, 3)
+	m.retryFanout("center", 1)
+	m.cvHandoff("assign", ir.LibPthread, 3)
+	return m.build()
+}
+
+// raytrace: 106 cells behind matchable ad-hoc flags read by two threads,
+// plus barrier-phased partition sharing that floods DRD.
+func raytrace() *ir.Program {
+	m := newMB("raytrace")
+	m.adhocFanout("bvh", 106, 2, false)
+	m.barrierFanout("tiles", ir.LibPthread, 45, 4, 6)
+	return m.build()
+}

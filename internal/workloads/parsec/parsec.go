@@ -1,0 +1,641 @@
+// Package parsec provides synthetic models of the 13 PARSEC 2.0 programs
+// the paper evaluates (slide 26). Each model reproduces the program's
+// synchronization-idiom mix — which library it uses (POSIX, GLIB, OpenMP),
+// whether it has ad-hoc synchronizations, condition variables, locks,
+// barriers — and the pathologies the paper calls out by name: function-
+// pointer conditions in bodytrack, obscure task queues in ferret and x264,
+// long-delay flag hand-offs in dedup, and the slide-18 custom barrier in
+// streamcluster.
+//
+// The models do not reproduce the pixel math; they reproduce the sharing
+// structure that determines each tool's "racy contexts" count. Sharing-site
+// counts are scaled so the relative ordering and saturation behaviour of
+// the paper's tables 27-30 hold.
+package parsec
+
+import (
+	"fmt"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/synclib"
+)
+
+// Model describes one PARSEC program model.
+type Model struct {
+	Name string
+	// Parallelization model as reported in the paper's inventory.
+	ParallelModel string
+	// LOC is the paper's reported line count (slide 26).
+	LOC int
+	// Sync primitive inventory (slide 26 columns).
+	Adhoc, CVs, Locks, Barriers bool
+	// Build constructs the model's program.
+	Build func() *ir.Program
+}
+
+// Models returns the 13 program models in the paper's table order.
+func Models() []Model {
+	return []Model{
+		{"blackscholes", "POSIX", 812, false, false, false, true, blackscholes},
+		{"swaptions", "POSIX", 4029, false, false, false, false, swaptions},
+		{"fluidanimate", "POSIX", 3689, false, false, true, false, fluidanimate},
+		{"canneal", "POSIX", 2931, false, false, true, false, canneal},
+		{"freqmine", "OpenMP", 10279, false, false, true, true, freqmine},
+		{"vips", "GLIB", 1255, true, true, true, false, vips},
+		{"bodytrack", "POSIX", 9735, true, true, true, true, bodytrack},
+		{"facesim", "POSIX", 1391, true, true, true, false, facesim},
+		{"ferret", "POSIX", 2706, true, true, true, false, ferret},
+		{"x264", "POSIX", 1494, true, true, true, false, x264},
+		{"dedup", "POSIX", 3228, true, true, true, false, dedup},
+		{"streamcluster", "POSIX", 40393, true, true, true, true, streamcluster},
+		{"raytrace", "POSIX", 13302, true, false, true, true, raytrace},
+	}
+}
+
+// ByName returns the model with the given name.
+func ByName(name string) (Model, bool) {
+	for _, m := range Models() {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Model{}, false
+}
+
+// WithoutAdhoc returns the models of the paper's slide-27 table (programs
+// without ad-hoc synchronizations).
+func WithoutAdhoc() []Model {
+	var out []Model
+	for _, m := range Models() {
+		if !m.Adhoc {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// WithAdhoc returns the models of the paper's slide-28 table.
+func WithAdhoc() []Model {
+	var out []Model
+	for _, m := range Models() {
+		if m.Adhoc {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Shared building blocks
+// ---------------------------------------------------------------------------
+
+type mb struct {
+	b *ir.Builder
+	// libs by tag, installed on demand.
+	libs map[ir.LibTag]*synclib.Lib
+	// phases of workers: main spawns and joins each phase in order
+	// (sequential frames in x264, a single phase elsewhere).
+	phases  [][]string
+	workers []string
+	// uniq feeds unique symbol names.
+	uniq int
+}
+
+func newMB(name string) *mb {
+	return &mb{b: ir.NewBuilder(name), libs: make(map[ir.LibTag]*synclib.Lib)}
+}
+
+// newPhase seals the workers accumulated so far into a phase; main joins a
+// phase completely before spawning the next.
+func (m *mb) newPhase() {
+	if len(m.workers) > 0 {
+		m.phases = append(m.phases, m.workers)
+		m.workers = nil
+	}
+}
+
+func (m *mb) lib(tag ir.LibTag) *synclib.Lib {
+	l := m.libs[tag]
+	if l == nil {
+		l = synclib.Install(m.b, tag)
+		m.libs[tag] = l
+	}
+	return l
+}
+
+func (m *mb) name(prefix string) string {
+	m.uniq++
+	return fmt.Sprintf("%s%d", prefix, m.uniq)
+}
+
+func (m *mb) build() *ir.Program {
+	m.newPhase()
+	main := m.b.Func("main", 0)
+	main.SetLoc("main.c", 1)
+	for _, phase := range m.phases {
+		tids := make([]int, len(phase))
+		for i, w := range phase {
+			tids[i] = main.Spawn(w)
+		}
+		for _, tid := range tids {
+			main.Join(tid)
+		}
+	}
+	main.Ret(ir.NoReg)
+	p, err := m.b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("parsec: %v", err))
+	}
+	return p
+}
+
+// touchCellAt emits a load-inc-store of cells[idx] with a distinct source
+// location derived from (file, line).
+func touchCellAt(f *ir.FuncBuilder, base int64, sym string, idx int, file string, line int) {
+	f.SetLoc(file, line)
+	f.PinLoc(file, line)
+	one := f.Const(1)
+	ireg := f.Const(int64(idx))
+	v := f.LoadIdx(base, ireg, sym)
+	v1 := f.Add(v, one)
+	ireg2 := f.Const(int64(idx))
+	f.StoreIdx(base, ireg2, v1, sym)
+	f.SetLoc(file, line+1)
+}
+
+// readCellAt emits a load of cells[idx] at a distinct source location.
+func readCellAt(f *ir.FuncBuilder, base int64, sym string, idx int, file string, line int) {
+	f.SetLoc(file, line)
+	f.PinLoc(file, line)
+	ireg := f.Const(int64(idx))
+	_ = f.LoadIdx(base, ireg, sym)
+	f.SetLoc(file, line+1)
+}
+
+// spinOnFlag emits a 2-block spinning read loop waiting for flag != 0.
+func spinOnFlag(f *ir.FuncBuilder, flag int64, sym string, atomic bool) {
+	zero := f.Const(0)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	a := f.Addr(flag, sym)
+	var v int
+	if atomic {
+		v = f.AtomicLoad(a, sym)
+	} else {
+		v = f.Load(a, sym)
+	}
+	waiting := f.CmpEQ(v, zero)
+	f.Br(waiting, body, exit)
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+}
+
+// raiseFlag emits flag = 1 (atomic).
+func raiseFlag(f *ir.FuncBuilder, flag int64, sym string) {
+	one := f.Const(1)
+	a := f.Addr(flag, sym)
+	f.AtomicStore(a, one, sym)
+}
+
+// grindPrivate emits `events` memory events on a private scratch word —
+// the long-delay generator (dedup/vips hand-offs).
+func grindPrivate(f *ir.FuncBuilder, scratch int64, sym string, events int) {
+	rounds := events / 2
+	zero := f.Const(0)
+	one := f.Const(1)
+	limit := f.Const(int64(rounds))
+	i := f.Mov(zero)
+	a := f.Addr(scratch, sym)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	c := f.CmpLT(i, limit)
+	f.Br(c, body, exit)
+	f.SetBlock(body)
+	v := f.Load(a, sym)
+	v1 := f.Add(v, one)
+	f.Store(a, v1, sym)
+	f.BinTo(ir.OpAdd, i, i, one)
+	f.Jmp(header)
+	f.SetBlock(exit)
+}
+
+// adhocFanout adds a writer that touches `cells` distinct cells (one source
+// location each), optionally grinds a long private delay, raises an atomic
+// flag; plus `readers` spinner threads that wait and read every cell at
+// their own source locations. All locations are distinct so the group
+// contributes cells warned addresses and cells*(1+readers) warnable sites.
+func (m *mb) adhocFanout(tag string, cells, readers int, long bool) int64 {
+	arr := m.b.GlobalArray(tag+".cells", cells)
+	flag := m.b.Global(tag + ".flag")
+	var scratch int64
+	if long {
+		scratch = m.b.Global(tag + ".scratch")
+	}
+
+	wname := m.name(tag + "_writer")
+	w := m.b.Func(wname, 0)
+	for i := 0; i < cells; i++ {
+		touchCellAt(w, arr, tag+".cells", i, tag+"_w.c", 100+i*2)
+	}
+	if long {
+		grindPrivate(w, scratch, tag+".scratch", 4800)
+	}
+	raiseFlag(w, flag, tag+".flag")
+	w.Ret(ir.NoReg)
+	m.workers = append(m.workers, wname)
+
+	for r := 0; r < readers; r++ {
+		rname := m.name(tag + "_reader")
+		f := m.b.Func(rname, 0)
+		spinOnFlag(f, flag, tag+".flag", true)
+		for i := 0; i < cells; i++ {
+			readCellAt(f, arr, tag+".cells", i, fmt.Sprintf("%s_r%d.c", tag, r), 100+i*2)
+		}
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, rname)
+	}
+	return arr
+}
+
+// funcptrFanout is adhocFanout with a function-pointer condition loop — the
+// classifier cannot match it, so the group's cells stay racy-looking under
+// every configuration. withJitter threads an unrelated mutex-protected log
+// round into both sides, so in some schedules the lock chain fortuitously
+// orders a cell and the count dips below the maximum (the paper's
+// fractional context counts).
+func (m *mb) funcptrFanout(tag string, cells int, withJitter bool) {
+	arr := m.b.GlobalArray(tag+".cells", cells)
+	flag := m.b.Global(tag + ".flag")
+	var logMu, logBuf int64
+	if withJitter {
+		logMu = m.b.Global(tag + ".logmu")
+		logBuf = m.b.Global(tag + ".logbuf")
+	}
+	lib := m.lib(ir.LibPthread)
+
+	chk := m.name(tag + "_check")
+	cf := m.b.Func(chk, 0)
+	v := cf.LoadAddr(flag)
+	cf.Ret(v)
+
+	wname := m.name(tag + "_writer")
+	w := m.b.Func(wname, 0)
+	for i := 0; i < cells; i++ {
+		touchCellAt(w, arr, tag+".cells", i, tag+"_w.c", 100+i*2)
+	}
+	if withJitter {
+		lib.Lock(w, logMu, tag+".logmu")
+		touchCellAt(w, logBuf, tag+".logbuf", 0, tag+"_w.c", 900)
+		lib.Unlock(w, logMu, tag+".logmu")
+	}
+	raiseFlag(w, flag, tag+".flag")
+	w.Ret(ir.NoReg)
+	m.workers = append(m.workers, wname)
+
+	rname := m.name(tag + "_reader")
+	f := m.b.Func(rname, 0)
+	if withJitter {
+		// A private preamble roughly as long as the writer's cell sweep
+		// makes the log-mutex acquisition order genuinely schedule-
+		// dependent: when the writer's unlock precedes the reader's lock,
+		// the lock chain fortuitously orders the whole group and the
+		// run's context count dips (the paper's fractional means).
+		pre := m.b.Global(tag + ".pre")
+		grindPrivate(f, pre, tag+".pre", cells)
+		lib.Lock(f, logMu, tag+".logmu")
+		touchCellAt(f, logBuf, tag+".logbuf", 0, tag+"_r.c", 900)
+		lib.Unlock(f, logMu, tag+".logmu")
+	}
+	fp := f.FuncIndex(chk)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	ready := f.CallIndirect(fp)
+	f.Br(ready, exit, body)
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	for i := 0; i < cells; i++ {
+		readCellAt(f, arr, tag+".cells", i, tag+"_r.c", 100+i*2)
+	}
+	f.Ret(ir.NoReg)
+	m.workers = append(m.workers, rname)
+}
+
+// retryFanout guards cells with the pthread retry-counted event primitive:
+// intercepted (and clean) whenever pthread is known; unmatched raw code for
+// the universal detector.
+func (m *mb) retryFanout(tag string, cells int) {
+	arr := m.b.GlobalArray(tag+".cells", cells)
+	evt := m.b.Global(tag + ".evt")
+	lib := m.lib(ir.LibPthread)
+
+	wname := m.name(tag + "_writer")
+	w := m.b.Func(wname, 0)
+	for i := 0; i < cells; i++ {
+		touchCellAt(w, arr, tag+".cells", i, tag+"_w.c", 100+i*2)
+	}
+	a := w.Addr(evt, tag+".evt")
+	w.Call(lib.Name("ec_set"), a)
+	w.Ret(ir.NoReg)
+	m.workers = append(m.workers, wname)
+
+	rname := m.name(tag + "_reader")
+	f := m.b.Func(rname, 0)
+	a2 := f.Addr(evt, tag+".evt")
+	f.Call(lib.Name("ec_wait"), a2)
+	for i := 0; i < cells; i++ {
+		readCellAt(f, arr, tag+".cells", i, tag+"_r.c", 100+i*2)
+	}
+	f.Ret(ir.NoReg)
+	m.workers = append(m.workers, rname)
+}
+
+// lockFanout: threads sweep `cells` shared cells under one library mutex,
+// `rounds` times, each thread at its own (per-cell) source locations.
+// Race-free when the library is known; a flood of per-site warnings
+// otherwise — two rounds make both threads' sites warn under detectors
+// that report at the later access of a pair.
+func (m *mb) lockFanout(tag string, tagLib ir.LibTag, cells, threads, rounds int) {
+	m.lockFanoutBlock(tag, tagLib, cells, threads, rounds, 20)
+}
+
+func (m *mb) lockFanoutBlock(tag string, tagLib ir.LibTag, cells, threads, rounds, block int) {
+	arr := m.b.GlobalArray(tag+".cells", cells)
+	mu := m.b.Global(tag + ".mu")
+	lib := m.lib(tagLib)
+	for tix := 0; tix < threads; tix++ {
+		wname := m.name(tag + "_worker")
+		f := m.b.Func(wname, 0)
+		// Sweep block-wise, repeating each block `rounds` times before
+		// moving on: with concurrent sweepers, a thread's second pass over
+		// a block lands shortly after its peers' first pass, so both
+		// threads' access sites conflict within a bounded event distance.
+		for lo := 0; lo < cells; lo += block {
+			hi := lo + block
+			if hi > cells {
+				hi = cells
+			}
+			for r := 0; r < rounds; r++ {
+				for i := lo; i < hi; i++ {
+					lib.Lock(f, mu, tag+".mu")
+					touchCellAt(f, arr, tag+".cells", i, fmt.Sprintf("%s_t%d.c", tag, tix), 100+i*2)
+					lib.Unlock(f, mu, tag+".mu")
+				}
+			}
+		}
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, wname)
+	}
+}
+
+// barrierFanout: phased bulk-synchronous sharing. In each of `phases`
+// rounds every thread writes its own chunk of the phase's partition, meets
+// at a fresh library barrier, and reads the next thread's chunk. Race-free
+// under a barrier-aware detector; a flood under DRD — and because each
+// phase is short, the conflicting accesses stay within even a bounded
+// access history.
+func (m *mb) barrierFanout(tag string, tagLib ir.LibTag, chunk, threads, phases int) {
+	arr := m.b.GlobalArray(tag+".cells", chunk*threads*phases)
+	bars := make([]int64, phases)
+	for ph := range bars {
+		bars[ph] = m.b.Global(fmt.Sprintf("%s.bar%d", tag, ph))
+	}
+	lib := m.lib(tagLib)
+	for tix := 0; tix < threads; tix++ {
+		wname := m.name(tag + "_worker")
+		f := m.b.Func(wname, 0)
+		for ph := 0; ph < phases; ph++ {
+			base := ph * chunk * threads
+			for i := 0; i < chunk; i++ {
+				touchCellAt(f, arr, tag+".cells", base+tix*chunk+i,
+					fmt.Sprintf("%s_t%d.c", tag, tix), 1000*ph+100+i*2)
+			}
+			lib.Barrier(f, bars[ph], fmt.Sprintf("%s.bar%d", tag, ph), threads)
+			next := (tix + 1) % threads
+			for i := 0; i < chunk; i++ {
+				readCellAt(f, arr, tag+".cells", base+next*chunk+i,
+					fmt.Sprintf("%s_t%d.c", tag, tix), 1000*ph+500+i*2)
+			}
+		}
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, wname)
+	}
+}
+
+// wideSpinFanout: one cell published through a spinning read loop of
+// `blocks` basic blocks. With blocks above the detector's window (the
+// paper's spin(7)), the loop goes unmatched and the cell remains a residual
+// racy context. The flag is atomic on both sides, so only the cell warns.
+func (m *mb) wideSpinFanout(tag string, blocks int) {
+	cell := m.b.Global(tag + ".cell")
+	flag := m.b.Global(tag + ".flag")
+
+	wname := m.name(tag + "_writer")
+	w := m.b.Func(wname, 0)
+	touchCellAt(w, cell, tag+".cell", 0, tag+"_w.c", 100)
+	raiseFlag(w, flag, tag+".flag")
+	w.Ret(ir.NoReg)
+	m.workers = append(m.workers, wname)
+
+	rname := m.name(tag + "_reader")
+	f := m.b.Func(rname, 0)
+	zero := f.Const(0)
+	header := f.NewBlock()
+	pads := make([]int, 0, blocks-2)
+	for i := 0; i < blocks-2; i++ {
+		pads = append(pads, f.NewBlock())
+	}
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	a := f.Addr(flag, tag+".flag")
+	v := f.AtomicLoad(a, tag+".flag")
+	waiting := f.CmpEQ(v, zero)
+	next := body
+	if len(pads) > 0 {
+		next = pads[0]
+	}
+	f.Br(waiting, next, exit)
+	for i, p := range pads {
+		f.SetBlock(p)
+		x := f.Const(int64(i + 1))
+		_ = f.Add(x, x)
+		if i+1 < len(pads) {
+			f.Jmp(pads[i+1])
+		} else {
+			f.Jmp(body)
+		}
+	}
+	f.SetBlock(body)
+	f.Yield()
+	f.Jmp(header)
+	f.SetBlock(exit)
+	readCellAt(f, cell, tag+".cell", 0, tag+"_r.c", 100)
+	f.Ret(ir.NoReg)
+	m.workers = append(m.workers, rname)
+}
+
+// cvHandoff: a clean producer/consumer hand-off over a library condition
+// variable, touching `cells` shared cells under the mutex.
+func (m *mb) cvHandoff(tag string, tagLib ir.LibTag, cells int) {
+	arr := m.b.GlobalArray(tag+".cells", cells)
+	mu := m.b.Global(tag + ".mu")
+	cv := m.b.Global(tag + ".cv")
+	pred := m.b.Global(tag + ".pred")
+	lib := m.lib(tagLib)
+
+	pname := m.name(tag + "_producer")
+	p := m.b.Func(pname, 0)
+	lib.Lock(p, mu, tag+".mu")
+	for i := 0; i < cells; i++ {
+		touchCellAt(p, arr, tag+".cells", i, tag+"_p.c", 100+i*2)
+	}
+	one := p.Const(1)
+	p.Store(p.Addr(pred, tag+".pred"), one, tag+".pred")
+	lib.Signal(p, cv, tag+".cv")
+	lib.Unlock(p, mu, tag+".mu")
+	p.Ret(ir.NoReg)
+	m.workers = append(m.workers, pname)
+
+	cname := m.name(tag + "_consumer")
+	f := m.b.Func(cname, 0)
+	lib.Lock(f, mu, tag+".mu")
+	zero := f.Const(0)
+	header := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+	f.Jmp(header)
+	f.SetBlock(header)
+	pv := f.LoadAddr(pred)
+	waiting := f.CmpEQ(pv, zero)
+	f.Br(waiting, body, exit)
+	f.SetBlock(body)
+	lib.Wait(f, cv, mu, tag+".cv", tag+".mu")
+	f.Jmp(header)
+	f.SetBlock(exit)
+	for i := 0; i < cells; i++ {
+		readCellAt(f, arr, tag+".cells", i, tag+"_c.c", 100+i*2)
+	}
+	lib.Unlock(f, mu, tag+".mu")
+	f.Ret(ir.NoReg)
+	m.workers = append(m.workers, cname)
+}
+
+// disjointFanout: threads work on private partitions only, optionally
+// separated by a barrier — nothing shared, every tool must stay silent.
+func (m *mb) disjointFanout(tag string, tagLib ir.LibTag, cellsPerThread, threads int, useBarrier bool) {
+	arr := m.b.GlobalArray(tag+".cells", cellsPerThread*threads)
+	var bar int64
+	var lib *synclib.Lib
+	if useBarrier {
+		bar = m.b.Global(tag + ".bar")
+		lib = m.lib(tagLib)
+	}
+	for tix := 0; tix < threads; tix++ {
+		wname := m.name(tag + "_worker")
+		f := m.b.Func(wname, 0)
+		for i := 0; i < cellsPerThread; i++ {
+			touchCellAt(f, arr, tag+".cells", tix*cellsPerThread+i,
+				fmt.Sprintf("%s_t%d.c", tag, tix), 100+i*2)
+		}
+		if useBarrier {
+			lib.Barrier(f, bar, tag+".bar", threads)
+		}
+		for i := 0; i < cellsPerThread; i++ {
+			touchCellAt(f, arr, tag+".cells", tix*cellsPerThread+i,
+				fmt.Sprintf("%s_t%d.c", tag, tix), 500+i*2)
+		}
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, wname)
+	}
+}
+
+// slide18Barrier: the paper's slide-18 ad-hoc barrier — a mutex-protected
+// counter plus a spinning read loop — guarding a handful of reduction
+// cells. Under "lib" the mutex is intercepted but the spin is invisible;
+// with the spin feature the loop matches and the group is clean.
+func (m *mb) slide18Barrier(tag string, cells, threads int) {
+	arr := m.b.GlobalArray(tag+".red", cells)
+	mu := m.b.Global(tag + ".mu")
+	count := m.b.Global(tag + ".count")
+	lib := m.lib(ir.LibPthread)
+	for tix := 0; tix < threads; tix++ {
+		wname := m.name(tag + "_member")
+		f := m.b.Func(wname, 0)
+		lib.Lock(f, mu, tag+".mu")
+		for i := 0; i < cells; i++ {
+			touchCellAt(f, arr, tag+".red", i, fmt.Sprintf("%s_t%d.c", tag, tix), 100+i*2)
+		}
+		touchCellAt(f, count, tag+".count", 0, fmt.Sprintf("%s_t%d.c", tag, tix), 300)
+		lib.Unlock(f, mu, tag+".mu")
+		// while (count != threads) {}
+		n := f.Const(int64(threads))
+		header := f.NewBlock()
+		body := f.NewBlock()
+		exit := f.NewBlock()
+		f.Jmp(header)
+		f.SetBlock(header)
+		cv := f.LoadAddr(count)
+		ne := f.CmpNE(cv, n)
+		f.Br(ne, body, exit)
+		f.SetBlock(body)
+		f.Yield()
+		f.Jmp(header)
+		f.SetBlock(exit)
+		for i := 0; i < cells; i++ {
+			readCellAt(f, arr, tag+".red", i, fmt.Sprintf("%s_t%d.c", tag, tix), 400+i*2)
+		}
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, wname)
+	}
+}
+
+// ringQueuePipeline: the obscure task queue — a producer pushes values
+// through the lock-free ring queue; consumers claim indices with a CAS on
+// the head and read the slots. The inferred spin dependency runs through
+// the head pointer and misses the producer's tail-then-slot publication,
+// so the slot and tail words look racy to every configuration: the queue
+// contributes items+1 residual racy contexts (its slot cells plus the tail).
+func (m *mb) ringQueuePipeline(tag string, items, consumers int) {
+	q := synclib.NewRingQueue(m.b, tag+"_rq", items)
+	sink := m.b.GlobalArray(tag+".sink", consumers)
+	_ = q
+
+	pname := m.name(tag + "_producer")
+	p := m.b.Func(pname, 0)
+	for i := 0; i < items; i++ {
+		iv := p.Const(int64(i + 7))
+		p.Call(tag+"_rq_put", iv)
+	}
+	p.Ret(ir.NoReg)
+	m.workers = append(m.workers, pname)
+
+	per := items / consumers
+	for cix := 0; cix < consumers; cix++ {
+		cname := m.name(tag + "_consumer")
+		f := m.b.Func(cname, 0)
+		f.SetLoc(fmt.Sprintf("%s_get%d.c", tag, cix), 100)
+		acc := f.Const(0)
+		for k := 0; k < per; k++ {
+			v := f.Call(tag + "_rq_get")
+			acc = f.Add(acc, v)
+		}
+		ci := f.Const(int64(cix))
+		f.StoreIdx(sink, ci, acc, tag+".sink")
+		f.Ret(ir.NoReg)
+		m.workers = append(m.workers, cname)
+	}
+}
