@@ -1,0 +1,39 @@
+# One entry point for local runs and CI (.github/workflows/ci.yml calls
+# these same targets).
+
+GO ?= go
+
+.PHONY: all build test race bench fmt-check vet ci tables
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the Go race detector — also stress-tests the parallel
+# experiment engine (internal/sched) and the harness determinism tests.
+race:
+	$(GO) test -race ./...
+
+# Bench smoke: one iteration of the slide-24 accuracy table, enough to
+# catch a broken benchmark harness without burning CI minutes. Run
+# `go test -bench=. -benchtime=1x` to regenerate every table and figure.
+bench:
+	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run '^$$' .
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Everything CI runs, in CI's order.
+ci: fmt-check vet build race bench
+
+# Regenerate the paper's tables and figures.
+tables:
+	$(GO) run ./cmd/tables

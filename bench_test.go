@@ -18,6 +18,7 @@ import (
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/harness"
+	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads/parsec"
 )
 
@@ -72,6 +73,15 @@ func BenchmarkTable4(b *testing.B) {
 
 func BenchmarkTable5(b *testing.B) {
 	benchParsecTable(b, "t5", "Table 5 (slides 28/29)", harness.Table5, parsec.WithAdhoc())
+}
+
+// BenchmarkTable5Sequential is Table 5 through the engine's sequential
+// escape hatch — compare against BenchmarkTable5 (parallel, GOMAXPROCS
+// workers) to read off the experiment engine's speedup on a multicore
+// runner.
+func BenchmarkTable5Sequential(b *testing.B) {
+	r := harness.NewRunner(sched.Options{Sequential: true})
+	benchParsecTable(b, "t5seq", "Table 5 (sequential engine)", r.Table5, parsec.WithAdhoc())
 }
 
 func BenchmarkTable6(b *testing.B) {

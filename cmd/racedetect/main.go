@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-v]
+//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-v]
 //
 // Workloads: any PARSEC model name (x264, dedup, ...) or a data-race-test
 // case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...). Use
 // -list to enumerate.
+//
+// With -seeds N the workload runs under scheduler seeds 1..N on the
+// parallel experiment engine (one isolated program + detector per seed)
+// and the per-seed racy-context counts are reported in seed order.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads/dataracetest"
 	"adhocrace/internal/workloads/parsec"
 )
@@ -28,6 +33,7 @@ func main() {
 	tool := flag.String("tool", "spin", "tool: lib, spin, nolib, nolib+locks, drd, eraser")
 	window := flag.Int("window", 7, "spin-loop basic-block window")
 	seed := flag.Int64("seed", 1, "scheduler seed")
+	seeds := flag.Int("seeds", 0, "run seeds 1..N in parallel and report per-seed contexts")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
@@ -61,6 +67,19 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *seeds > 0 {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				fmt.Fprintf(os.Stderr, "racedetect: -seed is ignored with -seeds (running seeds 1..%d)\n", *seeds)
+			}
+		})
+		if err := runSeeds(build, cfg, *workload, *seeds, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	rep, res, err := detect.Run(build(), cfg, *seed)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
@@ -84,6 +103,43 @@ func main() {
 			fmt.Printf("    racy context at %s\n", loc)
 		}
 	}
+}
+
+// runSeeds fans the workload out over seeds 1..n on the experiment
+// engine; each job builds its own program and detector, and results are
+// printed in seed order (with every warning, when verbose).
+func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n int, verbose bool) error {
+	eng := sched.Default()
+	seedList := make([]int64, n)
+	for i := range seedList {
+		seedList[i] = int64(i + 1)
+	}
+	reps, err := sched.Map(eng, seedList, func(s int64) (*detect.Report, error) {
+		rep, _, err := detect.Run(build(), cfg, s)
+		if err != nil {
+			return nil, fmt.Errorf("seed %d: %w", s, err)
+		}
+		return rep, nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s under %s, seeds 1..%d (%d workers)\n",
+		workload, cfg.Name, n, eng.Workers())
+	total := 0
+	for i, rep := range reps {
+		c := rep.RacyContexts()
+		total += c
+		fmt.Printf("  seed %-3d events=%-9d warnings=%-6d racy contexts=%d\n",
+			seedList[i], rep.Events, len(rep.Warnings), c)
+		if verbose {
+			for _, w := range rep.Warnings {
+				fmt.Printf("    %s\n", w)
+			}
+		}
+	}
+	fmt.Printf("  mean racy contexts: %.1f\n", float64(total)/float64(n))
+	return nil
 }
 
 func findWorkload(name string) (func() *ir.Program, bool) {

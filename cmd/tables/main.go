@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tables [-t all|1|2|3|4|5|6|perf]
+//	tables [-t all|1|2|3|4|5|6|perf] [-workers N] [-seq]
 //
 //	1    data-race-test accuracy, four tools (slide 24)
 //	2    spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
@@ -12,6 +12,10 @@
 //	5    racy contexts, programs with ad-hoc sync (slides 28/29)
 //	6    universal detector, all 13 programs (slide 30)
 //	perf memory and runtime overhead figures (slides 31/32)
+//
+// Experiments run through the parallel experiment engine (GOMAXPROCS
+// workers by default). -workers bounds the concurrency; -seq is the
+// strictly sequential escape hatch. Output is byte-identical either way.
 package main
 
 import (
@@ -20,11 +24,23 @@ import (
 	"os"
 
 	"adhocrace/internal/harness"
+	"adhocrace/internal/sched"
 )
 
 func main() {
 	which := flag.String("t", "all", "table to regenerate: all,1,2,3,4,5,6,perf")
+	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run every detector job sequentially, in order")
 	flag.Parse()
+
+	valid := map[string]bool{"all": true, "1": true, "2": true, "3": true,
+		"4": true, "5": true, "6": true, "perf": true}
+	if !valid[*which] {
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want all,1,2,3,4,5,6,perf)\n", *which)
+		os.Exit(2)
+	}
+
+	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq})
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
@@ -37,7 +53,7 @@ func main() {
 	}
 
 	run("1", func() error {
-		rows, err := harness.AccuracyTable(harness.Table1Configs(), 1)
+		rows, err := runner.AccuracyTable(harness.Table1Configs(), 1)
 		if err != nil {
 			return err
 		}
@@ -45,7 +61,7 @@ func main() {
 		return nil
 	})
 	run("2", func() error {
-		rows, err := harness.AccuracyTable(harness.Table2Configs(), 1)
+		rows, err := runner.AccuracyTable(harness.Table2Configs(), 1)
 		if err != nil {
 			return err
 		}
@@ -57,14 +73,14 @@ func main() {
 		return nil
 	})
 	run("4", func() error {
-		return printParsec("Table 4 — programs without ad-hoc synchronizations (slide 27)", harness.Table4)
+		return printParsec("Table 4 — programs without ad-hoc synchronizations (slide 27)", runner.Table4)
 	})
 	run("5", func() error {
-		return printParsec("Table 5 — programs with ad-hoc synchronizations (slides 28/29)", harness.Table5)
+		return printParsec("Table 5 — programs with ad-hoc synchronizations (slides 28/29)", runner.Table5)
 	})
-	run("6", func() error { return printParsec("Table 6 — universal race detector (slide 30)", harness.Table6) })
+	run("6", func() error { return printParsec("Table 6 — universal race detector (slide 30)", runner.Table6) })
 	run("perf", func() error {
-		rows, err := harness.OverheadAll()
+		rows, err := runner.OverheadAll()
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,3 @@
+module adhocrace
+
+go 1.24

@@ -85,25 +85,18 @@ type Report struct {
 	ShadowBytes int64
 }
 
-// RacyContexts returns the number of distinct racy contexts (source
-// locations with at least one warning), the paper's evaluation metric.
-func (r *Report) RacyContexts() int {
-	seen := make(map[ir.Loc]bool)
+// distinctContexts deduplicates the warnings' source locations and sorts
+// them by (file, line) — the shared scan behind both context metrics.
+// Warnings are appended in event-stream order, so the result is
+// deterministic for a given (program, tool, seed) run.
+func (r *Report) distinctContexts() []ir.Loc {
+	seen := make(map[ir.Loc]bool, len(r.Warnings))
+	out := make([]ir.Loc, 0, len(r.Warnings))
 	for _, w := range r.Warnings {
-		seen[w.Loc] = true
-	}
-	return len(seen)
-}
-
-// ContextList returns the distinct racy contexts, sorted.
-func (r *Report) ContextList() []ir.Loc {
-	seen := make(map[ir.Loc]bool)
-	for _, w := range r.Warnings {
-		seen[w.Loc] = true
-	}
-	out := make([]ir.Loc, 0, len(seen))
-	for l := range seen {
-		out = append(out, l)
+		if !seen[w.Loc] {
+			seen[w.Loc] = true
+			out = append(out, w.Loc)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -114,10 +107,20 @@ func (r *Report) ContextList() []ir.Loc {
 	return out
 }
 
+// RacyContexts returns the number of distinct racy contexts (source
+// locations with at least one warning), the paper's evaluation metric.
+func (r *Report) RacyContexts() int { return len(r.distinctContexts()) }
+
+// ContextList returns the distinct racy contexts, sorted.
+func (r *Report) ContextList() []ir.Loc { return r.distinctContexts() }
+
 // HasWarnings reports whether any race was reported.
 func (r *Report) HasWarnings() bool { return len(r.Warnings) > 0 }
 
-// shadowWord is the per-address detector state.
+// shadowWord is the per-address detector state, stored by value in the
+// paged shadow memory (see shadow.go). The zero value is a fresh word;
+// the read clocks and read-event map are materialized on first read so an
+// untouched or write-only word costs no allocations.
 type shadowWord struct {
 	// Last write epoch: thread, that thread's clock component, stream
 	// position, location, atomicity.
@@ -130,11 +133,13 @@ type shadowWord struct {
 
 	// Last read per thread: clock component and stream position. Plain
 	// and atomic reads are tracked separately because two atomic accesses
-	// never constitute a data race.
+	// never constitute a data race. Nil until the first read.
 	reads       *vc.Clock
 	readsAtomic *vc.Clock
 	readEvents  map[event.Tid]int64
 
+	// live marks words in use, for the page's ShadowBytes accounting.
+	live bool
 	// atomicEver marks addresses ever accessed atomically (the Helgrind+
 	// lib sync-variable heuristic).
 	atomicEver bool
@@ -153,7 +158,7 @@ type Detector struct {
 	adhoc *core.Engine
 	locks *lockset.Tracker
 
-	shadow map[int64]*shadowWord
+	shadow *shadowMem
 	// reportedSite supports per-(addr,loc) deduplication (DRD).
 	reportedSite map[siteKey]bool
 
@@ -180,7 +185,7 @@ func New(cfg Config, ins *spin.Instrumentation, prog *ir.Program) *Detector {
 		hb:           h,
 		adhoc:        adhoc,
 		locks:        lockset.NewTracker(),
-		shadow:       make(map[int64]*shadowWord),
+		shadow:       newShadowMem(),
 		reportedSite: make(map[siteKey]bool),
 		ins:          ins,
 	}
@@ -210,16 +215,7 @@ func (d *Detector) Handle(ev *event.Event) {
 }
 
 func (d *Detector) word(addr int64) *shadowWord {
-	w := d.shadow[addr]
-	if w == nil {
-		w = &shadowWord{
-			reads:       vc.New(),
-			readsAtomic: vc.New(),
-			readEvents:  make(map[event.Tid]int64),
-		}
-		d.shadow[addr] = w
-	}
-	return w
+	return d.shadow.word(addr)
 }
 
 func (d *Detector) onAccess(ev *event.Event) {
@@ -286,11 +282,17 @@ func (d *Detector) onAccess(ev *event.Event) {
 		w.wLoc = ev.Loc
 		w.wAtomic = isAtomic
 	} else {
-		rc := w.reads
+		rc := &w.reads
 		if isAtomic {
-			rc = w.readsAtomic
+			rc = &w.readsAtomic
 		}
-		rc.Set(int(ev.Tid), clock.Get(int(ev.Tid)))
+		if *rc == nil {
+			*rc = vc.New()
+		}
+		(*rc).Set(int(ev.Tid), clock.Get(int(ev.Tid)))
+		if w.readEvents == nil {
+			w.readEvents = make(map[event.Tid]int64)
+		}
 		w.readEvents[ev.Tid] = d.events
 	}
 
@@ -302,8 +304,12 @@ func (d *Detector) onAccess(ev *event.Event) {
 }
 
 // readConflict finds a prior read in the clock that is unordered with the
-// current access.
+// current access. A nil clock (no reads of that flavor yet) has no
+// conflicts.
 func (d *Detector) readConflict(rc *vc.Clock, w *shadowWord, ev *event.Event, clock *vc.Clock) (event.Tid, int64) {
+	if rc == nil {
+		return -1, -1
+	}
 	for i := 0; i < rc.Len(); i++ {
 		tid := event.Tid(i)
 		if tid == ev.Tid {
@@ -424,10 +430,7 @@ func (d *Detector) numLoops() int {
 }
 
 func (d *Detector) shadowBytes() int64 {
-	var n int64
-	for _, w := range d.shadow {
-		n += 96 + w.reads.Bytes() + w.readsAtomic.Bytes() + int64(len(w.readEvents))*24
-	}
+	n := d.shadow.bytes()
 	n += d.hb.Bytes()
 	n += d.locks.Bytes()
 	n += d.adhoc.Bytes()

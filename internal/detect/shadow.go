@@ -1,0 +1,95 @@
+package detect
+
+import (
+	"adhocrace/internal/vc"
+)
+
+// Shadow-memory layout: a two-level page table instead of one flat
+// map[addr]*shadowWord. The IR allocates globals densely in 8-byte cells
+// (ir.Builder.GlobalArray strides by 8 and IndexAddr scales indices by
+// 8), so the detector tracks one shadow word per 8-byte cell and groups
+// 4096 consecutive words into a page. The hot path then costs one map
+// lookup per page transition (usually zero: the last page is cached)
+// plus an array index, and shadow words are stored by value in the page
+// array — no per-address allocation, no pointer chasing.
+const (
+	// addrWordShift converts a byte address into a word index: shadow
+	// granularity is the IR's 8-byte memory cell.
+	addrWordShift = 3
+	// pageWordShift sizes a page at 4096 words (32 KiB of address space).
+	pageWordShift = 12
+	pageWords     = 1 << pageWordShift
+	pageWordMask  = pageWords - 1
+)
+
+// shadowPage holds the shadow words of one 4096-word address range.
+type shadowPage struct {
+	words [pageWords]shadowWord
+	// live counts the words in use, for ShadowBytes accounting (a page
+	// is allocated whole, but only touched words carry detector state).
+	live int
+}
+
+// shadowMem is the two-level paged shadow memory of one detector run.
+type shadowMem struct {
+	pages map[int64]*shadowPage
+	// One-entry cache: experiment programs are small enough that nearly
+	// every access hits the same page, making the common case a single
+	// comparison plus an array index.
+	lastKey  int64
+	lastPage *shadowPage
+}
+
+func newShadowMem() *shadowMem {
+	return &shadowMem{pages: make(map[int64]*shadowPage)}
+}
+
+// word returns the shadow word for a byte address, allocating its page on
+// first touch.
+func (s *shadowMem) word(addr int64) *shadowWord {
+	wi := addr >> addrWordShift
+	key := wi >> pageWordShift
+	pg := s.lastPage
+	if pg == nil || key != s.lastKey {
+		pg = s.pages[key]
+		if pg == nil {
+			pg = &shadowPage{}
+			s.pages[key] = pg
+		}
+		s.lastKey, s.lastPage = key, pg
+	}
+	w := &pg.words[wi&pageWordMask]
+	if !w.live {
+		w.live = true
+		pg.live++
+	}
+	return w
+}
+
+// bytes approximates the shadow state's memory consumption. The model
+// charges every live word the seed implementation's per-word cost (96
+// bytes of word state plus its two read clocks and read-event map) so
+// the paper's memory figures stay comparable across shadow layouts;
+// clocks the paged layout has not needed to materialize yet are charged
+// at their empty-clock header size.
+func (s *shadowMem) bytes() int64 {
+	var n int64
+	for _, pg := range s.pages {
+		for i := range pg.words {
+			w := &pg.words[i]
+			if !w.live {
+				continue
+			}
+			n += 96 + clockBytes(w.reads) + clockBytes(w.readsAtomic) +
+				int64(len(w.readEvents))*24
+		}
+	}
+	return n
+}
+
+func clockBytes(c *vc.Clock) int64 {
+	if c == nil {
+		return 24
+	}
+	return c.Bytes()
+}

@@ -1,6 +1,14 @@
 // Package harness runs the paper's experiments: the data-race-test
 // accuracy tables (slides 24/25), the PARSEC racy-context tables (slides
 // 27-30), and the memory/runtime overhead figures (slides 31/32).
+//
+// Every experiment decomposes into independent (tool × workload × seed)
+// detector runs. A Runner submits those runs as jobs to a sched.Engine —
+// each job builds its own ir.Program and fresh detect.Detector, so jobs
+// share nothing — and assembles results in submission order, which makes
+// parallel output byte-identical to the sequential escape hatch
+// (sched.Options.Sequential). The package-level functions use a shared
+// parallel runner with GOMAXPROCS workers.
 package harness
 
 import (
@@ -10,6 +18,7 @@ import (
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads/dataracetest"
 )
 
@@ -20,6 +29,19 @@ const ContextCap = 1000
 // Seeds are the scheduler seeds the PARSEC experiments average over
 // ("five runs" in the paper's metric).
 var Seeds = []int64{1, 2, 3, 4, 5}
+
+// Runner executes the paper's experiments on a job engine.
+type Runner struct {
+	eng *sched.Engine
+}
+
+// NewRunner builds a runner with the given engine options; the zero
+// options mean parallel execution with GOMAXPROCS workers, and
+// Options.Sequential is the strictly-in-order escape hatch.
+func NewRunner(opts sched.Options) *Runner { return &Runner{eng: sched.New(opts)} }
+
+// defaultRunner backs the package-level convenience functions.
+var defaultRunner = NewRunner(sched.Options{})
 
 // AccuracyRow is one tool's line in the test-suite accuracy table.
 type AccuracyRow struct {
@@ -32,43 +54,90 @@ type AccuracyRow struct {
 	FailedCases []string
 }
 
-// Accuracy scores one tool configuration over the full data-race-test
-// suite with a fixed seed: a race-free case with any warning is a false
-// alarm, a racy case without warnings is a missed race.
-func Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
-	row := AccuracyRow{Tool: cfg.Name}
-	for _, c := range dataracetest.Suite() {
-		rep, _, err := detect.Run(c.Build(), cfg, seed)
+// accuracyJob is one (tool, case) cell of an accuracy table.
+type accuracyJob struct {
+	cfg detect.Config
+	c   dataracetest.Case
+}
+
+// runAccuracyJobs scores a list of (tool, case) jobs on the engine and
+// returns whether each case warned, in job order.
+func (r *Runner) runAccuracyJobs(jobs []accuracyJob, seed int64) ([]bool, error) {
+	return sched.Map(r.eng, jobs, func(j accuracyJob) (bool, error) {
+		rep, _, err := detect.Run(j.c.Build(), j.cfg, seed)
 		if err != nil {
-			return row, fmt.Errorf("%s on %s: %w", cfg.Name, c.Name, err)
+			return false, fmt.Errorf("%s on %s: %w", j.cfg.Name, j.c.Name, err)
 		}
-		warned := rep.HasWarnings()
+		return rep.HasWarnings(), nil
+	})
+}
+
+// foldAccuracy turns per-case outcomes (in suite order) into a table row:
+// a race-free case with any warning is a false alarm, a racy case without
+// warnings is a missed race.
+func foldAccuracy(tool string, cases []dataracetest.Case, warned []bool) AccuracyRow {
+	row := AccuracyRow{Tool: tool}
+	for i, c := range cases {
 		switch {
-		case !c.Racy && warned:
+		case !c.Racy && warned[i]:
 			row.FalseAlarms++
 			row.FailedCases = append(row.FailedCases, c.Name)
-		case c.Racy && !warned:
+		case c.Racy && !warned[i]:
 			row.MissedRaces++
 			row.FailedCases = append(row.FailedCases, c.Name)
 		}
 	}
 	row.Failed = row.FalseAlarms + row.MissedRaces
 	row.Correct = dataracetest.SuiteSize - row.Failed
-	return row, nil
+	return row
+}
+
+// Accuracy scores one tool configuration over the full data-race-test
+// suite with a fixed seed.
+func (r *Runner) Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
+	cases := dataracetest.Suite()
+	jobs := make([]accuracyJob, len(cases))
+	for i, c := range cases {
+		jobs[i] = accuracyJob{cfg: cfg, c: c}
+	}
+	warned, err := r.runAccuracyJobs(jobs, seed)
+	if err != nil {
+		return AccuracyRow{Tool: cfg.Name}, err
+	}
+	return foldAccuracy(cfg.Name, cases, warned), nil
 }
 
 // AccuracyTable scores several configurations (Table 1 uses the four paper
-// tools; Table 2 the spin-window sweep).
-func AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
-	rows := make([]AccuracyRow, 0, len(cfgs))
+// tools; Table 2 the spin-window sweep). The full (tool × case) job list
+// is submitted as one batch so a many-core runner parallelizes across
+// tools as well as cases.
+func (r *Runner) AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
+	cases := dataracetest.Suite()
+	jobs := make([]accuracyJob, 0, len(cfgs)*len(cases))
 	for _, cfg := range cfgs {
-		row, err := Accuracy(cfg, seed)
-		if err != nil {
-			return nil, err
+		for _, c := range cases {
+			jobs = append(jobs, accuracyJob{cfg: cfg, c: c})
 		}
-		rows = append(rows, row)
+	}
+	warned, err := r.runAccuracyJobs(jobs, seed)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]AccuracyRow, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		rows = append(rows, foldAccuracy(cfg.Name, cases, warned[i*len(cases):(i+1)*len(cases)]))
 	}
 	return rows, nil
+}
+
+// Accuracy scores one tool on the shared parallel runner.
+func Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
+	return defaultRunner.Accuracy(cfg, seed)
+}
+
+// AccuracyTable scores several tools on the shared parallel runner.
+func AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
+	return defaultRunner.AccuracyTable(cfgs, seed)
 }
 
 // Table1Configs are the four tools of the slide-24 table.
@@ -106,25 +175,47 @@ type ContextResult struct {
 	PerSeed []int
 }
 
-// RacyContexts measures one program under one tool configuration across
-// the standard seeds.
-func RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
-	res := ContextResult{Program: program, Tool: cfg.Name}
+// contextRun measures one (program, tool, seed) run and returns the
+// capped distinct-context count. Each call builds its own program so
+// concurrent runs share nothing.
+func contextRun(build func() *ir.Program, program string, cfg detect.Config, seed int64) (int, error) {
+	rep, _, err := detect.Run(build(), cfg, seed)
+	if err != nil {
+		return 0, fmt.Errorf("%s on %s seed %d: %w", cfg.Name, program, seed, err)
+	}
+	n := rep.RacyContexts()
+	if n > ContextCap {
+		n = ContextCap
+	}
+	return n, nil
+}
+
+// foldContexts assembles per-seed counts into a result.
+func foldContexts(program, tool string, perSeed []int) ContextResult {
+	res := ContextResult{Program: program, Tool: tool, PerSeed: perSeed}
 	total := 0
-	for _, seed := range Seeds {
-		rep, _, err := detect.Run(build(), cfg, seed)
-		if err != nil {
-			return res, fmt.Errorf("%s on %s seed %d: %w", cfg.Name, program, seed, err)
-		}
-		n := rep.RacyContexts()
-		if n > ContextCap {
-			n = ContextCap
-		}
-		res.PerSeed = append(res.PerSeed, n)
+	for _, n := range perSeed {
 		total += n
 	}
-	res.Mean = float64(total) / float64(len(Seeds))
-	return res, nil
+	res.Mean = float64(total) / float64(len(perSeed))
+	return res
+}
+
+// RacyContexts measures one program under one tool configuration across
+// the standard seeds.
+func (r *Runner) RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
+	perSeed, err := sched.Map(r.eng, Seeds, func(seed int64) (int, error) {
+		return contextRun(build, program, cfg, seed)
+	})
+	if err != nil {
+		return ContextResult{Program: program, Tool: cfg.Name}, err
+	}
+	return foldContexts(program, cfg.Name, perSeed), nil
+}
+
+// RacyContexts measures on the shared parallel runner.
+func RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
+	return defaultRunner.RacyContexts(build, program, cfg)
 }
 
 // FormatContexts renders a racy-context table: one row per program, one

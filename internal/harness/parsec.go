@@ -5,26 +5,49 @@ import (
 	"strings"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads/parsec"
 )
 
 // ParsecTable runs the racy-context experiment for the given models under
 // the four paper tools and returns cells[program][tool] = mean contexts.
-func ParsecTable(models []parsec.Model) (map[string]map[string]float64, []string, error) {
+// The whole (program × tool × seed) cross product is submitted as one job
+// batch; cells are folded in submission order, so the table is identical
+// whichever order the jobs finished in.
+func (r *Runner) ParsecTable(models []parsec.Model) (map[string]map[string]float64, []string, error) {
 	tools := detect.PaperTools(7)
-	cells := make(map[string]map[string]float64, len(models))
 	toolNames := make([]string, len(tools))
 	for i, t := range tools {
 		toolNames[i] = t.Name
 	}
+
+	type ctxJob struct {
+		m    parsec.Model
+		cfg  detect.Config
+		seed int64
+	}
+	jobs := make([]ctxJob, 0, len(models)*len(tools)*len(Seeds))
+	for _, m := range models {
+		for _, cfg := range tools {
+			for _, seed := range Seeds {
+				jobs = append(jobs, ctxJob{m: m, cfg: cfg, seed: seed})
+			}
+		}
+	}
+	counts, err := sched.Map(r.eng, jobs, func(j ctxJob) (int, error) {
+		return contextRun(j.m.Build, j.m.Name, j.cfg, j.seed)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cells := make(map[string]map[string]float64, len(models))
+	i := 0
 	for _, m := range models {
 		row := make(map[string]float64, len(tools))
 		for _, cfg := range tools {
-			res, err := RacyContexts(m.Build, m.Name, cfg)
-			if err != nil {
-				return nil, nil, err
-			}
-			row[cfg.Name] = res.Mean
+			row[cfg.Name] = foldContexts(m.Name, cfg.Name, counts[i:i+len(Seeds)]).Mean
+			i += len(Seeds)
 		}
 		cells[m.Name] = row
 	}
@@ -32,20 +55,34 @@ func ParsecTable(models []parsec.Model) (map[string]map[string]float64, []string
 }
 
 // Table4 reproduces slide 27: programs without ad-hoc synchronizations.
-func Table4() (map[string]map[string]float64, []string, error) {
-	return ParsecTable(parsec.WithoutAdhoc())
+func (r *Runner) Table4() (map[string]map[string]float64, []string, error) {
+	return r.ParsecTable(parsec.WithoutAdhoc())
 }
 
 // Table5 reproduces slides 28/29: programs with ad-hoc synchronizations.
-func Table5() (map[string]map[string]float64, []string, error) {
-	return ParsecTable(parsec.WithAdhoc())
+func (r *Runner) Table5() (map[string]map[string]float64, []string, error) {
+	return r.ParsecTable(parsec.WithAdhoc())
 }
 
 // Table6 reproduces slide 30: the universal-detector table over all 13
 // programs.
-func Table6() (map[string]map[string]float64, []string, error) {
-	return ParsecTable(parsec.Models())
+func (r *Runner) Table6() (map[string]map[string]float64, []string, error) {
+	return r.ParsecTable(parsec.Models())
 }
+
+// ParsecTable runs on the shared parallel runner.
+func ParsecTable(models []parsec.Model) (map[string]map[string]float64, []string, error) {
+	return defaultRunner.ParsecTable(models)
+}
+
+// Table4 runs on the shared parallel runner.
+func Table4() (map[string]map[string]float64, []string, error) { return defaultRunner.Table4() }
+
+// Table5 runs on the shared parallel runner.
+func Table5() (map[string]map[string]float64, []string, error) { return defaultRunner.Table5() }
+
+// Table6 runs on the shared parallel runner.
+func Table6() (map[string]map[string]float64, []string, error) { return defaultRunner.Table6() }
 
 // FormatTable3 renders the slide-26 program inventory.
 func FormatTable3() string {
@@ -122,19 +159,13 @@ func Overhead(m parsec.Model) (OverheadRow, error) {
 	return row, nil
 }
 
-// OverheadAll measures every model.
-func OverheadAll() ([]OverheadRow, error) {
-	models := parsec.Models()
-	rows := make([]OverheadRow, 0, len(models))
-	for _, m := range models {
-		row, err := Overhead(m)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+// OverheadAll measures every model, one job per model.
+func (r *Runner) OverheadAll() ([]OverheadRow, error) {
+	return sched.Map(r.eng, parsec.Models(), Overhead)
 }
+
+// OverheadAll measures every model on the shared parallel runner.
+func OverheadAll() ([]OverheadRow, error) { return defaultRunner.OverheadAll() }
 
 // FormatOverhead renders the memory (slide 31) and runtime (slide 32)
 // figures as a table.

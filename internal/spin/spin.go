@@ -191,6 +191,79 @@ func Analyze(p *ir.Program, window int) *Instrumentation {
 	return ins
 }
 
+// callSite is one OpCall/OpSpawn instruction, pre-extracted so the
+// fixed-point loop below never rescans instruction streams.
+type callSite struct {
+	callee int
+	args   []int
+}
+
+// funcFacts are the per-function static facts the propagation needs. They
+// are computed in one pass per function; the fixed-point loop then works
+// entirely on these compact tables. (The propagation used to rescan every
+// instruction of the enclosing function per call-site query, copying each
+// ~100-byte ir.Instr by value — that scan dominated the whole experiment
+// pipeline's profile.)
+type funcFacts struct {
+	calls []callSite
+	// constSym[r] is the symbol attached to register r's definitions when
+	// r is defined exactly by symbol-carrying consts, else "".
+	constSym []string
+	// paramWritten[i] reports whether parameter register i is ever
+	// redefined (so it no longer holds the caller's address at an
+	// arbitrary call site; propagation is conservative and skips those).
+	paramWritten []bool
+}
+
+// paramWriteMask reports, per parameter register, whether the function ever
+// redefines it (true = written somewhere, so it no longer holds the caller's
+// address at an arbitrary call site; slicing and propagation are
+// conservative and only trust untouched parameters).
+func paramWriteMask(fn *ir.Func) []bool {
+	mask := make([]bool, fn.NParams)
+	for _, blk := range fn.Blocks {
+		for i := range blk.Instrs {
+			if dst := blk.Instrs[i].Dst; dst != ir.NoReg && dst < fn.NParams {
+				mask[dst] = true
+			}
+		}
+	}
+	return mask
+}
+
+// gatherFacts scans a function once.
+func gatherFacts(fn *ir.Func) funcFacts {
+	f := funcFacts{
+		constSym:     make([]string, fn.NRegs),
+		paramWritten: paramWriteMask(fn),
+	}
+	poisoned := make([]bool, fn.NRegs)
+	for _, blk := range fn.Blocks {
+		for i := range blk.Instrs {
+			in := &blk.Instrs[i]
+			if in.Op == ir.OpCall || in.Op == ir.OpSpawn {
+				f.calls = append(f.calls, callSite{callee: int(in.Imm), args: in.Args})
+			}
+			dst := in.Dst
+			if dst == ir.NoReg || dst < 0 || dst >= fn.NRegs {
+				continue
+			}
+			switch {
+			case poisoned[dst]:
+			case in.Op != ir.OpConst || in.Sym == "":
+				poisoned[dst] = true
+				f.constSym[dst] = ""
+			case f.constSym[dst] != "" && f.constSym[dst] != in.Sym:
+				poisoned[dst] = true
+				f.constSym[dst] = ""
+			default:
+				f.constSym[dst] = in.Sym
+			}
+		}
+	}
+	return f
+}
+
 // propagateCondParams pushes condition symbols through call sites: when a
 // function spins on *param, every caller passing a statically known address
 // contributes that address's symbol, and callers forwarding their own
@@ -208,83 +281,46 @@ func (ins *Instrumentation) propagateCondParams(p *ir.Program) {
 			m[pi] = true
 		}
 	}
+	facts := make([]funcFacts, len(p.Funcs))
+	for i, fn := range p.Funcs {
+		facts[i] = gatherFacts(fn)
+	}
 	for changed := true; changed; {
 		changed = false
-		for _, fn := range p.Funcs {
-			paramNeverWritten := paramWriteMask(fn)
-			for _, blk := range fn.Blocks {
-				for _, in := range blk.Instrs {
-					if in.Op != ir.OpCall && in.Op != ir.OpSpawn {
+		for fi, fn := range p.Funcs {
+			f := &facts[fi]
+			for _, call := range f.calls {
+				pis := marked[call.callee]
+				if len(pis) == 0 {
+					continue
+				}
+				for pi := range pis {
+					if pi >= len(call.args) {
 						continue
 					}
-					callee := int(in.Imm)
-					pis := marked[callee]
-					if len(pis) == 0 {
-						continue
-					}
-					for pi := range pis {
-						if pi >= len(in.Args) {
-							continue
-						}
-						arg := in.Args[pi]
-						if sym := constSymOf(fn, arg); sym != "" && !ins.condSyms[sym] {
+					arg := call.args[pi]
+					if arg >= 0 && arg < len(f.constSym) {
+						if sym := f.constSym[arg]; sym != "" && !ins.condSyms[sym] {
 							ins.condSyms[sym] = true
 							changed = true
 						}
-						// Forwarded parameter: mark the caller too.
-						if arg < fn.NParams && !paramNeverWritten[arg] {
-							m := marked[fn.Index]
-							if m == nil {
-								m = make(map[int]bool)
-								marked[fn.Index] = m
-							}
-							if !m[arg] {
-								m[arg] = true
-								changed = true
-							}
+					}
+					// Forwarded parameter: mark the caller too.
+					if arg >= 0 && arg < fn.NParams && !f.paramWritten[arg] {
+						m := marked[fn.Index]
+						if m == nil {
+							m = make(map[int]bool)
+							marked[fn.Index] = m
+						}
+						if !m[arg] {
+							m[arg] = true
+							changed = true
 						}
 					}
 				}
 			}
 		}
 	}
-}
-
-// paramWriteMask reports, per parameter register, whether the function ever
-// redefines it (true = written somewhere, so it no longer holds the caller's
-// address at an arbitrary call site; we propagate conservatively only when
-// untouched).
-func paramWriteMask(fn *ir.Func) []bool {
-	mask := make([]bool, fn.NParams)
-	for _, blk := range fn.Blocks {
-		for _, in := range blk.Instrs {
-			if in.Dst != ir.NoReg && in.Dst < fn.NParams {
-				mask[in.Dst] = true
-			}
-		}
-	}
-	return mask
-}
-
-// constSymOf returns the symbol attached to the constant definition of a
-// register, if the register is defined exactly by symbol-carrying consts.
-func constSymOf(fn *ir.Func, reg int) string {
-	sym := ""
-	for _, blk := range fn.Blocks {
-		for _, in := range blk.Instrs {
-			if in.Dst != reg {
-				continue
-			}
-			if in.Op != ir.OpConst || in.Sym == "" {
-				return ""
-			}
-			if sym != "" && sym != in.Sym {
-				return ""
-			}
-			sym = in.Sym
-		}
-	}
-	return sym
 }
 
 func (ins *Instrumentation) index(l *Loop) {
