@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt-check vet ci tables
+.PHONY: all build test race bench fmt-check vet doc-check ci tables
 
 all: build
 
@@ -31,8 +31,14 @@ fmt-check:
 vet:
 	$(GO) vet ./...
 
-# Everything CI runs, in CI's order.
-ci: fmt-check vet build race bench
+# Doc hygiene: every package must carry a package doc comment.
+doc-check:
+	sh scripts/check-docs.sh
+
+# Everything CI runs, in CI's order. (The workflow additionally runs the
+# shard determinism tests as a named step before the race suite, purely
+# so a determinism break fails with its own label; `race` covers them.)
+ci: fmt-check vet doc-check build race bench
 
 # Regenerate the paper's tables and figures.
 tables:

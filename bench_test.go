@@ -17,8 +17,10 @@ import (
 	"testing"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/event"
 	"adhocrace/internal/harness"
 	"adhocrace/internal/sched"
+	"adhocrace/internal/vm"
 	"adhocrace/internal/workloads/parsec"
 )
 
@@ -150,6 +152,61 @@ func BenchmarkDetectorThroughput(b *testing.B) {
 			}
 			b.ReportMetric(float64(events), "events/run")
 		})
+	}
+}
+
+// BenchmarkDetectorSharded measures intra-run detector sharding: the same
+// recorded event stream replayed through detectors with 1, 2, 4, and 8
+// shard workers. Recording once and replaying isolates detection
+// throughput from the (serial) vm that produces the stream; compare
+// ns/op of shards-N against shards-1 of the same model/tool pair to read
+// off the sharding speedup. Every variant's report is asserted identical
+// to the single-threaded one before timing starts.
+func BenchmarkDetectorSharded(b *testing.B) {
+	cases := []struct {
+		model string
+		tool  string
+		cfg   detect.Config
+	}{
+		{"x264", "lib", detect.HelgrindPlusLib()},
+		{"x264", "spin", detect.HelgrindPlusLibSpin(7)},
+		{"freqmine", "lib", detect.HelgrindPlusLib()},
+		{"dedup", "lib", detect.HelgrindPlusLib()},
+	}
+	for _, tc := range cases {
+		m, ok := parsec.ByName(tc.model)
+		if !ok {
+			b.Fatalf("no model %q", tc.model)
+		}
+		prog := m.Build()
+		ins := tc.cfg.Instrument(prog)
+		trace := &event.Trace{}
+		if _, err := vm.Run(prog, vm.Options{
+			Seed: 1, KnownLibs: tc.cfg.KnownLibs, Instr: ins, Sink: trace,
+		}); err != nil {
+			b.Fatal(err)
+		}
+		replay := func(shards int) *detect.Report {
+			d := detect.NewSharded(tc.cfg, ins, prog, shards)
+			defer d.Close()
+			trace.Replay(d)
+			return d.Report()
+		}
+		base := replay(1)
+		for _, shards := range []int{1, 2, 4, 8} {
+			shards := shards
+			b.Run(fmt.Sprintf("%s/%s/shards-%d", tc.model, tc.tool, shards), func(b *testing.B) {
+				if got := replay(shards); got.RacyContexts() != base.RacyContexts() ||
+					len(got.Warnings) != len(base.Warnings) || got.ShadowBytes != base.ShadowBytes {
+					b.Fatalf("%d-shard report differs from single-threaded", shards)
+				}
+				b.ReportMetric(float64(len(trace.Events)), "events/run")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					replay(shards)
+				}
+			})
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-v]
+//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-shards N] [-v]
 //
 // Workloads: any PARSEC model name (x264, dedup, ...) or a data-race-test
 // case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...). Use
@@ -13,6 +13,10 @@
 // With -seeds N the workload runs under scheduler seeds 1..N on the
 // parallel experiment engine (one isolated program + detector per seed)
 // and the per-seed racy-context counts are reported in seed order.
+//
+// With -shards N each detector run partitions its shadow state across N
+// shard workers (intra-run parallelism). The report is byte-identical to
+// -shards 1; only wall-clock time changes.
 package main
 
 import (
@@ -34,6 +38,7 @@ func main() {
 	window := flag.Int("window", 7, "spin-loop basic-block window")
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	seeds := flag.Int("seeds", 0, "run seeds 1..N in parallel and report per-seed contexts")
+	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
@@ -73,14 +78,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "racedetect: -seed is ignored with -seeds (running seeds 1..%d)\n", *seeds)
 			}
 		})
-		if err := runSeeds(build, cfg, *workload, *seeds, *verbose); err != nil {
+		if err := runSeeds(build, cfg, *workload, *seeds, *shards, *verbose); err != nil {
 			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	rep, res, err := detect.Run(build(), cfg, *seed)
+	rep, res, err := detect.RunSharded(build(), cfg, *seed, *shards)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 		os.Exit(1)
@@ -108,14 +113,14 @@ func main() {
 // runSeeds fans the workload out over seeds 1..n on the experiment
 // engine; each job builds its own program and detector, and results are
 // printed in seed order (with every warning, when verbose).
-func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n int, verbose bool) error {
+func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n, shards int, verbose bool) error {
 	eng := sched.Default()
 	seedList := make([]int64, n)
 	for i := range seedList {
 		seedList[i] = int64(i + 1)
 	}
 	reps, err := sched.Map(eng, seedList, func(s int64) (*detect.Report, error) {
-		rep, _, err := detect.Run(build(), cfg, s)
+		rep, _, err := detect.RunSharded(build(), cfg, s, shards)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", s, err)
 		}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	tables [-t all|1|2|3|4|5|6|perf] [-workers N] [-seq]
+//	tables [-t all|1|2|3|4|5|6|perf] [-workers N] [-seq] [-shards N]
 //
 //	1    data-race-test accuracy, four tools (slide 24)
 //	2    spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
@@ -15,7 +15,10 @@
 //
 // Experiments run through the parallel experiment engine (GOMAXPROCS
 // workers by default). -workers bounds the concurrency; -seq is the
-// strictly sequential escape hatch. Output is byte-identical either way.
+// strictly sequential escape hatch; -shards N additionally partitions
+// each detector run's shadow state across N shard workers (intra-run
+// parallelism, for big single runs). Output is byte-identical under every
+// combination of the three knobs.
 package main
 
 import (
@@ -31,6 +34,7 @@ func main() {
 	which := flag.String("t", "all", "table to regenerate: all,1,2,3,4,5,6,perf")
 	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every detector job sequentially, in order")
+	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "1": true, "2": true, "3": true,
@@ -40,7 +44,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq})
+	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq}).WithShards(*shards)
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {

@@ -25,6 +25,8 @@
 package core
 
 import (
+	"sync"
+
 	"adhocrace/internal/event"
 	"adhocrace/internal/hb"
 	"adhocrace/internal/ir"
@@ -33,9 +35,19 @@ import (
 )
 
 // Engine is the runtime ad-hoc synchronization detector for one execution.
+//
+// All mutating entry points (OnWrite, OnSpinRead, OnSpinExit) must be
+// called from the event coordinator, in stream order. IsSyncVar is the one
+// method shard workers call concurrently; mu covers exactly that reader
+// against OnSpinRead's classification updates.
 type Engine struct {
 	hb  *hb.Engine
 	ins *spin.Instrumentation
+
+	// mu guards syncAddrs and lockWords between IsSyncVar (read from
+	// shard workers) and OnSpinRead (written by the coordinator). The
+	// coordinator's own reads need no lock: it is the only writer.
+	mu sync.RWMutex
 
 	// InferLocks enables the paper's future-work extension: condition
 	// words of read-modify-write spin loops (CAS-acquire loops) are
@@ -128,15 +140,33 @@ func (e *Engine) Enabled() bool { return e.ins != nil && e.ins.NumLoops() >= 0 &
 
 // IsSyncVar reports whether an access to addr (with static symbol sym, if
 // any) belongs to a spin-loop condition — a synchronization variable whose
-// races are synchronization races, not data races.
+// races are synchronization races, not data races. Safe to call from shard
+// workers concurrently with the coordinator.
 func (e *Engine) IsSyncVar(addr int64, sym string) bool {
 	if !e.Enabled() {
 		return false
 	}
-	if e.syncAddrs[addr] {
+	e.mu.RLock()
+	hit := e.syncAddrs[addr]
+	e.mu.RUnlock()
+	if hit {
 		return true
 	}
 	return sym != "" && e.condSyms[sym]
+}
+
+// WriteActs reports whether OnWrite would mutate engine or clock state for
+// this write. This is the sharding coordinator's barrier predicate: writes
+// for which it is false are pure shadow-memory traffic and can be demuxed
+// to shard workers; writes for which it is true tick the writer's clock
+// and extend release histories, so they must run on the coordinator, after
+// dependent queued accesses have drained. Coordinator-only.
+func (e *Engine) WriteActs(ev *event.Event) bool {
+	if !e.Enabled() {
+		return false
+	}
+	return ev.Kind == event.KindAtomicWrite || e.syncAddrs[ev.Addr] ||
+		(ev.Sym != "" && e.condSyms[ev.Sym])
 }
 
 // OnWrite records a write's release snapshot when the target can serve as a
@@ -147,11 +177,7 @@ func (e *Engine) IsSyncVar(addr int64, sym string) bool {
 // precede the first spin read of a fast-path waiter. Must be called for
 // every write event, in stream order.
 func (e *Engine) OnWrite(ev *event.Event) {
-	if !e.Enabled() {
-		return
-	}
-	atomic := ev.Kind == event.KindAtomicWrite
-	if !atomic && !e.syncAddrs[ev.Addr] && !(ev.Sym != "" && e.condSyms[ev.Sym]) {
+	if !e.WriteActs(ev) {
 		return
 	}
 	cur := e.release[ev.Addr]
@@ -180,10 +206,12 @@ func (e *Engine) OnSpinRead(ev *event.Event) {
 		return
 	}
 	e.SpinReads++
+	e.mu.Lock()
 	e.syncAddrs[ev.Addr] = true
 	if ev.SpinLoop >= 0 && ev.SpinLoop < len(e.ins.Loops) && e.ins.Loops[ev.SpinLoop].HasRMW {
 		e.lockWords[ev.Addr] = true
 	}
+	e.mu.Unlock()
 	m := e.lastRead[ev.Tid]
 	if m == nil {
 		m = make(map[int]int64)

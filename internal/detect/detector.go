@@ -150,21 +150,30 @@ type shadowWord struct {
 	reported bool
 }
 
-// Detector consumes one execution's event stream.
+// Detector consumes one execution's event stream. It is the coordinator
+// of the (possibly sharded) detection pipeline: Handle runs on the vm's
+// execution goroutine, keeps every clock-, lockset- and classification-
+// mutating event to itself, and demuxes plain memory accesses to the
+// shard workers owning their addresses. With one shard (New) there are no
+// workers and every access is processed inline — the single-threaded
+// detector is the degenerate case of the sharded one. See shard.go for
+// the sharding design and its determinism argument.
 type Detector struct {
 	cfg Config
 
 	hb    *hb.Engine
 	adhoc *core.Engine
+	// locks carries the held-lock half of the lockset state; the
+	// per-variable half lives in the shards.
 	locks *lockset.Tracker
 
-	shadow *shadowMem
-	// reportedSite supports per-(addr,loc) deduplication (DRD).
-	reportedSite map[siteKey]bool
+	shards []*shardState
+	// demux routes access entries to shard workers; nil with one shard.
+	demux  *event.Demux[entry]
+	closed bool
 
-	warnings []Warning
-	events   int64
-	ins      *spin.Instrumentation
+	events int64
+	ins    *spin.Instrumentation
 }
 
 type siteKey struct {
@@ -172,22 +181,59 @@ type siteKey struct {
 	loc  ir.Loc
 }
 
-// New builds a detector for one run. The instrumentation must be the one
-// produced by cfg.Instrument on the program being executed (nil when the
-// spin feature is off); the program supplies the static symbol table for
-// sync-variable resolution.
+// New builds a single-threaded detector for one run. The instrumentation
+// must be the one produced by cfg.Instrument on the program being executed
+// (nil when the spin feature is off); the program supplies the static
+// symbol table for sync-variable resolution.
 func New(cfg Config, ins *spin.Instrumentation, prog *ir.Program) *Detector {
+	return NewSharded(cfg, ins, prog, 1)
+}
+
+// NewSharded builds a detector whose shadow state is partitioned across
+// the given number of shard workers (values below 2 mean single-threaded,
+// no workers). Reports are identical for every shard count. Callers of
+// NewSharded own the worker lifecycle: Close must be called when the
+// detector is done (Run and RunSharded do this for you).
+func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards int) *Detector {
+	if shards < 1 {
+		shards = 1
+	}
 	h := hb.New()
 	adhoc := core.New(h, ins, prog)
 	adhoc.InferLocks = cfg.InferLocks
-	return &Detector{
-		cfg:          cfg,
-		hb:           h,
-		adhoc:        adhoc,
-		locks:        lockset.NewTracker(),
-		shadow:       newShadowMem(),
-		reportedSite: make(map[siteKey]bool),
-		ins:          ins,
+	d := &Detector{
+		cfg:    cfg,
+		hb:     h,
+		adhoc:  adhoc,
+		locks:  lockset.NewTracker(),
+		shards: make([]*shardState, shards),
+		ins:    ins,
+	}
+	for i := range d.shards {
+		d.shards[i] = newShardState(&d.cfg, adhoc, int64(shards))
+	}
+	if shards > 1 {
+		d.demux = event.NewDemux(shards, 0, func(shard int, batch []entry) {
+			s := d.shards[shard]
+			for i := range batch {
+				s.access(&batch[i])
+			}
+		})
+	}
+	return d
+}
+
+// shardOf maps an address to the shard owning its shadow line.
+func (d *Detector) shardOf(addr int64) int {
+	line := (addr >> addrWordShift) >> shardLineShift
+	return int(uint64(line) % uint64(len(d.shards)))
+}
+
+// flushTag waits for queued accesses that depend on the given thread tags
+// before the caller mutates coordinator state those accesses read.
+func (d *Detector) flushTag(tag uint64) {
+	if d.demux != nil {
+		d.demux.FlushTag(tag)
 	}
 }
 
@@ -198,173 +244,92 @@ func (d *Detector) Handle(ev *event.Event) {
 	case event.KindRead, event.KindWrite, event.KindAtomicRead, event.KindAtomicWrite:
 		d.onAccess(ev)
 	case event.KindSyncPre:
-		d.onSyncPre(ev)
+		if d.cfg.supportsSync(ev.Sync) {
+			d.flushTag(event.TidTag(ev.Tid))
+			d.onSyncPre(ev)
+		}
 	case event.KindSyncPost:
-		d.onSyncPost(ev)
+		if d.cfg.supportsSync(ev.Sync) {
+			d.flushTag(event.TidTag(ev.Tid))
+			d.onSyncPost(ev)
+		}
 	case event.KindSpawn:
+		d.flushTag(event.TidTag(ev.Tid) | event.TidTag(ev.Child))
 		d.hb.Spawn(ev.Tid, ev.Child)
 	case event.KindJoin:
+		// Join mutates only the parent's clock; the child's is read.
+		d.flushTag(event.TidTag(ev.Tid))
 		d.hb.Join(ev.Tid, ev.Child)
 	case event.KindSpinRead:
+		// The mark reclassifies its address as a sync variable, which
+		// changes how queued accesses to that address would report.
+		if d.demux != nil {
+			d.demux.FlushShard(d.shardOf(ev.Addr))
+		}
 		d.adhoc.OnSpinRead(ev)
 	case event.KindSpinExit:
+		// The injected edge joins into the exiting thread's clock.
+		d.flushTag(event.TidTag(ev.Tid))
 		d.adhoc.OnSpinExit(ev)
 	case event.KindThreadStart, event.KindThreadExit:
 		// Thread clocks are created on demand; nothing to do.
 	}
 }
 
-func (d *Detector) word(addr int64) *shadowWord {
-	return d.shadow.word(addr)
-}
-
 func (d *Detector) onAccess(ev *event.Event) {
 	isWrite := ev.Kind.IsWrite()
-	isAtomic := ev.Kind.IsAtomic()
 
-	if d.cfg.Tool == DRDTool && d.cfg.AtomicsInvisible && isAtomic {
+	if d.cfg.Tool == DRDTool && d.cfg.AtomicsInvisible && ev.Kind.IsAtomic() {
 		// DRD excludes atomic accesses from race checking entirely; they
 		// neither race nor pair against plain accesses.
 		return
 	}
 
-	w := d.word(ev.Addr)
-	if isAtomic {
-		w.atomicEver = true
+	shard := d.shardOf(ev.Addr)
+	inline := d.demux == nil
+	if !inline && isWrite && d.adhoc.WriteActs(ev) {
+		// A release-relevant write: OnWrite ticks the writer's clock and
+		// snapshots it into the address's release history, so it must run
+		// on the coordinator — after the writer's queued accesses (they
+		// read the clock being ticked) and the address's queued accesses
+		// (shadow order), with the access itself processed inline between
+		// shadow update and release snapshot, exactly like the sequential
+		// path.
+		d.flushTag(event.TidTag(ev.Tid))
+		d.demux.FlushShard(shard)
+		inline = true
 	}
 
-	// Eraser tool: lockset only.
-	if d.cfg.Tool == EraserTool {
-		warn, _ := d.locks.Access(ev.Tid, ev.Addr, isWrite)
-		if warn && !w.reported {
-			w.reported = true
-			d.warn(Warning{Kind: WarnLockset, Loc: ev.Loc, Addr: ev.Addr, Sym: ev.Sym,
-				Tid: ev.Tid, Write: isWrite, EventIdx: d.events})
-		}
-		return
-	}
-
-	// Hybrid bookkeeping (classification only; reporting is HB-driven).
-	if d.cfg.Tool == HelgrindPlus {
-		d.locks.Access(ev.Tid, ev.Addr, isWrite)
-	}
-
-	clock := d.hb.ClockOf(ev.Tid)
-	var raceWith event.Tid = -1
-	var raceEvent int64 = -1
-
-	// Write-read / write-write race: the last write must happen-before us.
-	// Two atomic accesses never race (atomicity is synchronization at the
-	// hardware level), so an atomic access conflicts only with plain ones.
-	if w.wSeen && w.wTid != ev.Tid && w.wTick > clock.Get(int(w.wTid)) &&
-		!(isAtomic && w.wAtomic) {
-		raceWith, raceEvent = w.wTid, w.wEvent
-	}
-	// Read-write race: every prior read must happen-before a write. Atomic
-	// writes race only with prior plain reads.
-	if isWrite && raceWith < 0 {
-		raceWith, raceEvent = d.readConflict(w.reads, w, ev, clock)
-		if raceWith < 0 && !isAtomic {
-			raceWith, raceEvent = d.readConflict(w.readsAtomic, w, ev, clock)
-		}
-	}
-
-	if raceWith >= 0 {
-		d.maybeReport(ev, w, isWrite, raceWith, raceEvent)
-	}
-
-	// Update shadow.
-	if isWrite {
-		w.wSeen = true
-		w.wTid = ev.Tid
-		w.wTick = clock.Get(int(ev.Tid))
-		w.wEvent = d.events
-		w.wLoc = ev.Loc
-		w.wAtomic = isAtomic
+	var e *entry
+	var local entry // stack home for the inline path
+	if inline {
+		e = &local
 	} else {
-		rc := &w.reads
-		if isAtomic {
-			rc = &w.readsAtomic
-		}
-		if *rc == nil {
-			*rc = vc.New()
-		}
-		(*rc).Set(int(ev.Tid), clock.Get(int(ev.Tid)))
-		if w.readEvents == nil {
-			w.readEvents = make(map[event.Tid]int64)
-		}
-		w.readEvents[ev.Tid] = d.events
+		// Filled in place inside the pending batch — no copy.
+		e = d.demux.Slot(shard, event.TidTag(ev.Tid))
 	}
-
-	// Feed the ad-hoc engine after the shadow update so the release
-	// snapshot reflects this write.
-	if isWrite {
-		d.adhoc.OnWrite(ev)
+	e.kind = ev.Kind
+	e.tid = ev.Tid
+	e.addr = ev.Addr
+	e.sym = ev.Sym
+	e.loc = ev.Loc
+	e.idx = d.events
+	e.clock = d.hb.ClockOf(ev.Tid)
+	if d.cfg.Tool != DRDTool {
+		e.held = d.locks.HeldSnapshot(ev.Tid)
+	}
+	if inline {
+		d.shards[shard].access(e)
+		if isWrite {
+			d.adhoc.OnWrite(ev)
+		}
 	}
 }
 
-// readConflict finds a prior read in the clock that is unordered with the
-// current access. A nil clock (no reads of that flavor yet) has no
-// conflicts.
-func (d *Detector) readConflict(rc *vc.Clock, w *shadowWord, ev *event.Event, clock *vc.Clock) (event.Tid, int64) {
-	if rc == nil {
-		return -1, -1
-	}
-	for i := 0; i < rc.Len(); i++ {
-		tid := event.Tid(i)
-		if tid == ev.Tid {
-			continue
-		}
-		if rt := rc.Get(i); rt > 0 && rt > clock.Get(i) {
-			return tid, w.readEvents[tid]
-		}
-	}
-	return -1, -1
-}
-
-func (d *Detector) maybeReport(ev *event.Event, w *shadowWord, isWrite bool, other event.Tid, otherEvent int64) {
-	// Suppression of synchronization variables.
-	if d.adhoc.Enabled() {
-		if d.adhoc.IsSyncVar(ev.Addr, ev.Sym) {
-			return
-		}
-	} else if d.cfg.AtomicSuppression && w.atomicEver {
-		return
-	}
-	// Bounded history (DRD segment recycling).
-	if d.cfg.HistoryWindow > 0 && otherEvent >= 0 && d.events-otherEvent > d.cfg.HistoryWindow {
-		return
-	}
-	// Long-run MSM: arm on first observation, report on second.
-	if d.cfg.LongRunMSM && !w.suspected {
-		w.suspected = true
-		return
-	}
-	// Deduplication.
-	if d.cfg.DedupPerAddr {
-		if w.reported {
-			return
-		}
-		w.reported = true
-	} else {
-		k := siteKey{ev.Addr, ev.Loc}
-		if d.reportedSite[k] {
-			return
-		}
-		d.reportedSite[k] = true
-	}
-	d.warn(Warning{Kind: WarnHBRace, Loc: ev.Loc, Addr: ev.Addr, Sym: ev.Sym,
-		Tid: ev.Tid, Other: other, Write: isWrite, EventIdx: d.events})
-}
-
-func (d *Detector) warn(w Warning) {
-	d.warnings = append(d.warnings, w)
-}
-
+// onSyncPre handles the Pre half of a supported sync event; Handle has
+// already filtered unsupported kinds (before the flush, which they must
+// not trigger).
 func (d *Detector) onSyncPre(ev *event.Event) {
-	if !d.cfg.supportsSync(ev.Sync) {
-		return
-	}
 	switch ev.Sync {
 	case ir.SyncMutexUnlock:
 		d.hb.Release(ev.Tid, ev.Addr)
@@ -385,10 +350,9 @@ func (d *Detector) onSyncPre(ev *event.Event) {
 	}
 }
 
+// onSyncPost handles the Post half of a supported sync event; Handle has
+// already filtered unsupported kinds.
 func (d *Detector) onSyncPost(ev *event.Event) {
-	if !d.cfg.supportsSync(ev.Sync) {
-		return
-	}
 	switch ev.Sync {
 	case ir.SyncMutexLock:
 		d.hb.Acquire(ev.Tid, ev.Addr)
@@ -409,11 +373,31 @@ func (d *Detector) onSyncPost(ev *event.Event) {
 	}
 }
 
+// Flush implements event.Flusher: it completes all queued shard work. The
+// vm calls it when a run ends; Report and Close also flush.
+func (d *Detector) Flush() {
+	if d.demux != nil {
+		d.demux.FlushAll()
+	}
+}
+
+// Close flushes and stops the shard workers. Required after NewSharded
+// with more than one shard (Run/RunSharded close for you); idempotent and
+// a no-op for single-threaded detectors. The detector must not Handle
+// further events after Close, but Report remains valid.
+func (d *Detector) Close() {
+	if d.demux != nil && !d.closed {
+		d.closed = true
+		d.demux.Close()
+	}
+}
+
 // Report finalizes and returns the run's report.
 func (d *Detector) Report() *Report {
+	d.Flush()
 	return &Report{
 		Config:            d.cfg,
-		Warnings:          d.warnings,
+		Warnings:          mergeWarnings(d.shards),
 		Events:            d.events,
 		SpinEdges:         d.adhoc.Edges,
 		SpinLoops:         d.numLoops(),
@@ -429,10 +413,19 @@ func (d *Detector) numLoops() int {
 	return d.ins.NumLoops()
 }
 
+// shadowBytes sums the memory figure over the state partition: per-shard
+// shadow pages and lockset variables (disjoint by address), the
+// coordinator's held-lock state, and the shared happens-before and ad-hoc
+// engines. The partition covers exactly the single-threaded detector's
+// state, so the figure is independent of the shard count.
 func (d *Detector) shadowBytes() int64 {
-	n := d.shadow.bytes()
+	var n int64
+	for _, s := range d.shards {
+		n += s.shadow.bytes()
+		n += s.locks.VarBytes()
+	}
 	n += d.hb.Bytes()
-	n += d.locks.Bytes()
+	n += d.locks.HeldBytes()
 	n += d.adhoc.Bytes()
 	return n
 }

@@ -11,8 +11,16 @@ import (
 // configuration's interception set, and feeds the event stream through a
 // fresh detector.
 func Run(p *ir.Program, cfg Config, seed int64) (*Report, vm.Result, error) {
+	return RunSharded(p, cfg, seed, 1)
+}
+
+// RunSharded is Run with the detector's shadow state partitioned across
+// the given number of shard workers (see NewSharded). The report is
+// byte-identical to shards == 1; only wall-clock time changes.
+func RunSharded(p *ir.Program, cfg Config, seed int64, shards int) (*Report, vm.Result, error) {
 	ins := cfg.Instrument(p)
-	d := New(cfg, ins, p)
+	d := NewSharded(cfg, ins, p, shards)
+	defer d.Close()
 	res, err := vm.Run(p, vm.Options{
 		Seed:      seed,
 		KnownLibs: cfg.KnownLibs,
@@ -25,8 +33,15 @@ func Run(p *ir.Program, cfg Config, seed int64) (*Report, vm.Result, error) {
 // RunWithCounter is Run with an event counter attached (for the performance
 // figures measuring instrumentation load).
 func RunWithCounter(p *ir.Program, cfg Config, seed int64) (*Report, *event.Counter, vm.Result, error) {
+	return RunWithCounterSharded(p, cfg, seed, 1)
+}
+
+// RunWithCounterSharded is RunWithCounter with a sharded detector (see
+// NewSharded). The counter runs on the vm goroutine either way.
+func RunWithCounterSharded(p *ir.Program, cfg Config, seed int64, shards int) (*Report, *event.Counter, vm.Result, error) {
 	ins := cfg.Instrument(p)
-	d := New(cfg, ins, p)
+	d := NewSharded(cfg, ins, p, shards)
+	defer d.Close()
 	ctr := &event.Counter{}
 	res, err := vm.Run(p, vm.Options{
 		Seed:      seed,

@@ -8,7 +8,7 @@ import (
 // map[addr]*shadowWord. The IR allocates globals densely in 8-byte cells
 // (ir.Builder.GlobalArray strides by 8 and IndexAddr scales indices by
 // 8), so the detector tracks one shadow word per 8-byte cell and groups
-// 4096 consecutive words into a page. The hot path then costs one map
+// 512 consecutive words into a page. The hot path then costs one map
 // lookup per page transition (usually zero: the last page is cached)
 // plus an array index, and shadow words are stored by value in the page
 // array — no per-address allocation, no pointer chasing.
@@ -16,13 +16,17 @@ const (
 	// addrWordShift converts a byte address into a word index: shadow
 	// granularity is the IR's 8-byte memory cell.
 	addrWordShift = 3
-	// pageWordShift sizes a page at 4096 words (32 KiB of address space).
-	pageWordShift = 12
+	// pageWordShift sizes a page at 512 words (4 KiB of address space) —
+	// big enough that the one-entry page cache absorbs nearly every
+	// lookup, small enough that a page (~50 KiB of shadow words) is cheap
+	// to zero-allocate per detector, which matters when a sharded run
+	// builds one shadow table per shard.
+	pageWordShift = 9
 	pageWords     = 1 << pageWordShift
 	pageWordMask  = pageWords - 1
 )
 
-// shadowPage holds the shadow words of one 4096-word address range.
+// shadowPage holds the shadow words of one pageWords-sized address range.
 type shadowPage struct {
 	words [pageWords]shadowWord
 	// live counts the words in use, for ShadowBytes accounting (a page
@@ -30,7 +34,8 @@ type shadowPage struct {
 	live int
 }
 
-// shadowMem is the two-level paged shadow memory of one detector run.
+// shadowMem is the two-level paged shadow memory of one detector run (or,
+// under sharding, of one shard's slice of the run).
 type shadowMem struct {
 	pages map[int64]*shadowPage
 	// One-entry cache: experiment programs are small enough that nearly
@@ -38,16 +43,32 @@ type shadowMem struct {
 	// comparison plus an array index.
 	lastKey  int64
 	lastPage *shadowPage
+	// stride compacts a shard's address space: a shard owning every
+	// stride-th shadow line remaps line L to local line L/stride, so its
+	// owned words pack densely into pages instead of leaving each page
+	// (stride-1)/stride empty. 1 (the single-threaded detector) is the
+	// identity. The remap is injective per shard, which is all
+	// correctness needs; it exists so N shards allocate about as many
+	// pages together as one detector would alone.
+	stride int64
 }
 
-func newShadowMem() *shadowMem {
-	return &shadowMem{pages: make(map[int64]*shadowPage)}
+func newShadowMem() *shadowMem { return newShadowMemStride(1) }
+
+// newShadowMemStride builds the shadow table of a shard owning every
+// stride-th shadow line.
+func newShadowMemStride(stride int64) *shadowMem {
+	return &shadowMem{pages: make(map[int64]*shadowPage), stride: stride}
 }
 
 // word returns the shadow word for a byte address, allocating its page on
 // first touch.
 func (s *shadowMem) word(addr int64) *shadowWord {
 	wi := addr >> addrWordShift
+	if s.stride > 1 {
+		line := wi >> shardLineShift
+		wi = (line/s.stride)<<shardLineShift | (wi & shardLineMask)
+	}
 	key := wi >> pageWordShift
 	pg := s.lastPage
 	if pg == nil || key != s.lastKey {

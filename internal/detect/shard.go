@@ -1,0 +1,258 @@
+package detect
+
+import (
+	"sort"
+
+	"adhocrace/internal/core"
+	"adhocrace/internal/event"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/lockset"
+	"adhocrace/internal/vc"
+)
+
+// Intra-run detector sharding.
+//
+// The single-threaded detector funnels every memory event through one
+// shadow table. Sharding partitions that table by address ownership across
+// N shard workers: the coordinator (Detector.Handle, called by the vm on
+// its one execution goroutine) routes each access to the shard owning its
+// address, in batches, through an event.Demux; synchronization events —
+// the only events that mutate vector clocks, held-lock sets, or the ad-hoc
+// engine's classification — stay on the coordinator and act only after the
+// queued accesses that depend on the state they mutate have drained.
+//
+// # Determinism argument
+//
+// A sharded run reports exactly what the single-threaded run reports:
+//
+//  1. Per-address order. Every address maps to exactly one shard
+//     (shardOf), and a shard's batches are processed FIFO by one worker
+//     (sched.Pool), so the accesses to any address are processed in
+//     stream order — the order the sequential detector processes them.
+//  2. Stable inputs. Processing an access reads, besides shard-owned
+//     shadow state, only (a) the accessing thread's vector clock, (b) its
+//     held-lock set, and (c) the ad-hoc engine's sync-variable
+//     classification. (a) is passed by reference but mutated only by
+//     coordinator events that first flush every shard with queued work
+//     tagged by that thread (event.Demux.FlushTag); (b) is passed by
+//     immutable snapshot (lockset.HeldSnapshot); (c) is mutated only by
+//     spin-read marks, which first flush the shard owning the marked
+//     address. So every access is processed against precisely the state
+//     the sequential detector would have seen at its stream position.
+//  3. Stable outputs. Warnings carry their stream position (EventIdx);
+//     the merged report sorts by it, which reproduces the sequential
+//     append order because each event yields at most one warning. Shadow
+//     accounting sums disjoint per-shard state, so ShadowBytes is the
+//     same partition of the same words.
+//
+// The shard-count knob therefore changes wall-clock time and nothing
+// else; shardDeterminismTest asserts byte-identical reports across shard
+// counts.
+
+// shardLineShift sizes the ownership granule at 4 shadow words (32 bytes
+// of address space). Ownership interleaves lines across shards rather than
+// whole page-table pages because the workloads' globals are allocated
+// densely from address zero — page-granular ownership would park every
+// access on shard 0. A line keeps neighbouring words (one IR object,
+// typically) on one shard while spreading arrays across all of them.
+const (
+	shardLineShift = 2
+	shardLineMask  = (1 << shardLineShift) - 1
+)
+
+// entry is one demuxed access: the fields of the event the access path
+// reads, its stream position, and the coordinator-state snapshots item 2
+// of the determinism argument calls for.
+type entry struct {
+	kind event.Kind
+	tid  event.Tid
+	addr int64
+	sym  string
+	loc  ir.Loc
+	// idx is the event's position in the stream (1-based), the sequential
+	// detector's d.events at processing time.
+	idx int64
+	// clock is the accessing thread's live vector clock. Safe to read
+	// until the coordinator next mutates it, which it does only after
+	// flushing this entry (FlushTag of the thread's tag).
+	clock *vc.Clock
+	// held is the thread's held-lock snapshot (zero for tools that run no
+	// lockset).
+	held lockset.Set
+}
+
+// shardState is the detector state owned by one shard: everything keyed by
+// address. Exactly one goroutine touches a shardState at a time — its
+// worker between flushes, the coordinator otherwise.
+type shardState struct {
+	cfg   *Config
+	adhoc *core.Engine
+
+	shadow *shadowMem
+	// locks carries only the per-variable half of the lockset state; the
+	// held-lock half lives with the coordinator and arrives per entry.
+	locks *lockset.Tracker
+	// reportedSite supports per-(addr,loc) deduplication (DRD).
+	reportedSite map[siteKey]bool
+
+	warnings []Warning
+}
+
+func newShardState(cfg *Config, adhoc *core.Engine, stride int64) *shardState {
+	return &shardState{
+		cfg:          cfg,
+		adhoc:        adhoc,
+		shadow:       newShadowMemStride(stride),
+		locks:        lockset.NewTracker(),
+		reportedSite: make(map[siteKey]bool),
+	}
+}
+
+// access runs the per-address half of the detector state machine for one
+// demuxed access — the code the sequential detector runs inline, minus the
+// coordinator-owned ad-hoc release bookkeeping (core.Engine.OnWrite).
+func (s *shardState) access(e *entry) {
+	isWrite := e.kind.IsWrite()
+	isAtomic := e.kind.IsAtomic()
+
+	w := s.shadow.word(e.addr)
+	if isAtomic {
+		w.atomicEver = true
+	}
+
+	// Eraser tool: lockset only.
+	if s.cfg.Tool == EraserTool {
+		warn, _ := s.locks.AccessWith(e.tid, e.addr, isWrite, e.held)
+		if warn && !w.reported {
+			w.reported = true
+			s.warn(Warning{Kind: WarnLockset, Loc: e.loc, Addr: e.addr, Sym: e.sym,
+				Tid: e.tid, Write: isWrite, EventIdx: e.idx})
+		}
+		return
+	}
+
+	// Hybrid bookkeeping (classification only; reporting is HB-driven).
+	if s.cfg.Tool == HelgrindPlus {
+		s.locks.AccessWith(e.tid, e.addr, isWrite, e.held)
+	}
+
+	clock := e.clock
+	var raceWith event.Tid = -1
+	var raceEvent int64 = -1
+
+	// Write-read / write-write race: the last write must happen-before us.
+	// Two atomic accesses never race (atomicity is synchronization at the
+	// hardware level), so an atomic access conflicts only with plain ones.
+	if w.wSeen && w.wTid != e.tid && w.wTick > clock.Get(int(w.wTid)) &&
+		!(isAtomic && w.wAtomic) {
+		raceWith, raceEvent = w.wTid, w.wEvent
+	}
+	// Read-write race: every prior read must happen-before a write. Atomic
+	// writes race only with prior plain reads.
+	if isWrite && raceWith < 0 {
+		raceWith, raceEvent = readConflict(w.reads, w, e.tid, clock)
+		if raceWith < 0 && !isAtomic {
+			raceWith, raceEvent = readConflict(w.readsAtomic, w, e.tid, clock)
+		}
+	}
+
+	if raceWith >= 0 {
+		s.maybeReport(e, w, isWrite, raceWith, raceEvent)
+	}
+
+	// Update shadow.
+	if isWrite {
+		w.wSeen = true
+		w.wTid = e.tid
+		w.wTick = clock.Get(int(e.tid))
+		w.wEvent = e.idx
+		w.wLoc = e.loc
+		w.wAtomic = isAtomic
+	} else {
+		rc := &w.reads
+		if isAtomic {
+			rc = &w.readsAtomic
+		}
+		if *rc == nil {
+			*rc = vc.New()
+		}
+		(*rc).Set(int(e.tid), clock.Get(int(e.tid)))
+		if w.readEvents == nil {
+			w.readEvents = make(map[event.Tid]int64)
+		}
+		w.readEvents[e.tid] = e.idx
+	}
+}
+
+// readConflict finds a prior read in the clock that is unordered with the
+// current access. A nil clock (no reads of that flavor yet) has no
+// conflicts.
+func readConflict(rc *vc.Clock, w *shadowWord, tid event.Tid, clock *vc.Clock) (event.Tid, int64) {
+	if rc == nil {
+		return -1, -1
+	}
+	for i := 0; i < rc.Len(); i++ {
+		t := event.Tid(i)
+		if t == tid {
+			continue
+		}
+		if rt := rc.Get(i); rt > 0 && rt > clock.Get(i) {
+			return t, w.readEvents[t]
+		}
+	}
+	return -1, -1
+}
+
+func (s *shardState) maybeReport(e *entry, w *shadowWord, isWrite bool, other event.Tid, otherEvent int64) {
+	// Suppression of synchronization variables.
+	if s.adhoc.Enabled() {
+		if s.adhoc.IsSyncVar(e.addr, e.sym) {
+			return
+		}
+	} else if s.cfg.AtomicSuppression && w.atomicEver {
+		return
+	}
+	// Bounded history (DRD segment recycling).
+	if s.cfg.HistoryWindow > 0 && otherEvent >= 0 && e.idx-otherEvent > s.cfg.HistoryWindow {
+		return
+	}
+	// Long-run MSM: arm on first observation, report on second.
+	if s.cfg.LongRunMSM && !w.suspected {
+		w.suspected = true
+		return
+	}
+	// Deduplication.
+	if s.cfg.DedupPerAddr {
+		if w.reported {
+			return
+		}
+		w.reported = true
+	} else {
+		k := siteKey{e.addr, e.loc}
+		if s.reportedSite[k] {
+			return
+		}
+		s.reportedSite[k] = true
+	}
+	s.warn(Warning{Kind: WarnHBRace, Loc: e.loc, Addr: e.addr, Sym: e.sym,
+		Tid: e.tid, Other: other, Write: isWrite, EventIdx: e.idx})
+}
+
+func (s *shardState) warn(w Warning) {
+	s.warnings = append(s.warnings, w)
+}
+
+// mergeWarnings interleaves per-shard warning lists back into stream
+// order. EventIdx is unique per warning (an event yields at most one), so
+// sorting by it reproduces the sequential detector's append order exactly.
+func mergeWarnings(shards []*shardState) []Warning {
+	if len(shards) == 1 {
+		return shards[0].warnings
+	}
+	var out []Warning
+	for _, s := range shards {
+		out = append(out, s.warnings...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].EventIdx < out[j].EventIdx })
+	return out
+}

@@ -1,0 +1,107 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/workloads/dataracetest"
+	"adhocrace/internal/workloads/parsec"
+)
+
+// shardCounts are the partitionings every determinism test compares
+// against the single-threaded detector.
+var shardCounts = []int{2, 4, 8}
+
+// fingerprint renders everything a Report exposes, so two reports with
+// equal fingerprints are observably identical: every warning with all its
+// fields, every counter, the shadow accounting, and the derived context
+// metrics.
+func fingerprint(rep *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config=%s events=%d spinEdges=%d spinLoops=%d inferredLocks=%d shadowBytes=%d\n",
+		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops,
+		rep.InferredLockWords, rep.ShadowBytes)
+	fmt.Fprintf(&b, "racyContexts=%d contexts=%v\n", rep.RacyContexts(), rep.ContextList())
+	for i, w := range rep.Warnings {
+		fmt.Fprintf(&b, "warning[%d]=%+v\n", i, w)
+	}
+	return b.String()
+}
+
+// checkShardDeterminism runs one (program, config, seed) under every shard
+// count and asserts byte-identical reports.
+func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, cfg Config, seed int64) {
+	t.Helper()
+	base, _, err := RunSharded(build(), cfg, seed, 1)
+	if err != nil {
+		t.Fatalf("%s under %s seed %d (1 shard): %v", name, cfg.Name, seed, err)
+	}
+	want := fingerprint(base)
+	for _, n := range shardCounts {
+		rep, _, err := RunSharded(build(), cfg, seed, n)
+		if err != nil {
+			t.Fatalf("%s under %s seed %d (%d shards): %v", name, cfg.Name, seed, n, err)
+		}
+		if got := fingerprint(rep); got != want {
+			t.Errorf("%s under %s seed %d: %d-shard report differs from single-threaded\n--- 1 shard ---\n%s--- %d shards ---\n%s",
+				name, cfg.Name, seed, n, want, n, got)
+		}
+	}
+}
+
+// TestShardDeterminismSuite sweeps the full data-race-test suite under the
+// four paper tools plus the Eraser reference: sharded reports must be
+// byte-identical to the single-threaded detector on every case.
+func TestShardDeterminismSuite(t *testing.T) {
+	cfgs := append(PaperTools(7), Eraser(), HelgrindPlusNolibSpinLocks(7))
+	for _, c := range dataracetest.Suite() {
+		for _, cfg := range cfgs {
+			checkShardDeterminism(t, c.Build, c.Name, cfg, 1)
+		}
+	}
+}
+
+// TestShardDeterminismParsec covers the PARSEC models with the densest
+// event streams and the heaviest ad-hoc synchronization — the workloads
+// where shard/coordinator interleaving has the most chances to diverge.
+func TestShardDeterminismParsec(t *testing.T) {
+	models := []string{"x264", "freqmine", "dedup", "vips", "streamcluster"}
+	for _, name := range models {
+		m, ok := parsec.ByName(name)
+		if !ok {
+			t.Fatalf("no model %q", name)
+		}
+		for _, cfg := range PaperTools(7) {
+			for _, seed := range []int64{1, 3} {
+				checkShardDeterminism(t, m.Build, m.Name, cfg, seed)
+			}
+		}
+	}
+}
+
+// TestShardStress exercises the sharded pipeline under maximum
+// contention: many concurrent sharded runs of the spin-heavy models. Its
+// value is under `go test -race` (CI runs the suite that way): any
+// coordinator/shard synchronization hole shows up as a race report here.
+func TestShardStress(t *testing.T) {
+	models := []string{"x264", "freqmine", "vips"}
+	var wg sync.WaitGroup
+	for rep := 0; rep < 3; rep++ {
+		for _, name := range models {
+			m, _ := parsec.ByName(name)
+			for _, cfg := range []Config{HelgrindPlusLibSpin(7), HelgrindPlusNolibSpin(7)} {
+				wg.Add(1)
+				go func(build func() *ir.Program, cfg Config) {
+					defer wg.Done()
+					if _, _, err := RunSharded(build(), cfg, 1, 8); err != nil {
+						t.Errorf("sharded run failed: %v", err)
+					}
+				}(m.Build, cfg)
+			}
+		}
+	}
+	wg.Wait()
+}

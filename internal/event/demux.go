@@ -1,0 +1,223 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"adhocrace/internal/sched"
+)
+
+// This file is the stream side of intra-run detector sharding: a Demux
+// takes the vm's serial event stream apart into per-shard batches and feeds
+// them to a sched.Pool worker per shard, while giving the coordinator the
+// ordering tool it needs — selective flushes that wait only for the shards
+// whose queued work depends on a global state change.
+//
+// Items are batched (slice batches recycled through a sync.Pool), not sent
+// one-per-channel-operation, so the hot path costs an append per item and
+// one channel send per DefaultBatchSize items.
+
+// DefaultBatchSize is the number of items dispatched per batch. Batches are
+// the unit of hand-off to shard workers: big enough to amortize channel and
+// scheduling costs, small enough that a flush does not stall on a huge
+// just-dispatched batch.
+const DefaultBatchSize = 256
+
+// inlineThreshold is the flush fast path: when a shard's worker is idle and
+// at most this many items are pending, the flusher processes them on the
+// calling goroutine instead of paying a dispatch + wake-up round trip.
+// Sync-dense streams (spin loops hammering one flag) hit this constantly.
+const inlineThreshold = 32
+
+// TidTag returns the dependency tag bit for a thread id, used to mark
+// items with the threads whose coordinator state they read. Thread ids
+// beyond 62 share a saturation bit — flushes become conservative (they may
+// wait for more than strictly necessary), never unsound.
+func TidTag(t Tid) uint64 {
+	if t < 0 || t > 62 {
+		return 1 << 63
+	}
+	return 1 << uint(t)
+}
+
+// inflight is one dispatched, possibly unfinished batch: its dependency
+// mask and its position in the shard's dispatch order.
+type inflight struct {
+	ticket int64
+	mask   uint64
+}
+
+// demuxShard is the coordinator-side state of one shard. Only the demux
+// owner touches it, except done, which the shard's worker increments.
+type demuxShard[T any] struct {
+	pending  []T
+	mask     uint64 // union of pending items' tags
+	issued   int64  // batches dispatched
+	done     atomic.Int64
+	inflight []inflight // dispatched batches not yet observed complete
+	wg       sync.WaitGroup
+}
+
+// Demux fans one serial stream out to per-shard workers in batches. All
+// items sent to a shard are processed serially in send order (the
+// sched.Pool per-worker FIFO); different shards run concurrently. The
+// sender and flusher must be a single goroutine — the demux is the fan-out
+// point of a serial stream, not a concurrent queue.
+type Demux[T any] struct {
+	pool    *sched.Pool
+	process func(shard int, batch []T)
+	size    int
+	shards  []demuxShard[T]
+	free    sync.Pool
+}
+
+// NewDemux starts one worker per shard running process over dispatched
+// batches. batchSize <= 0 means DefaultBatchSize.
+func NewDemux[T any](shards, batchSize int, process func(shard int, batch []T)) *Demux[T] {
+	if shards < 1 {
+		shards = 1
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	d := &Demux[T]{
+		pool:    sched.NewPool(shards),
+		process: process,
+		size:    batchSize,
+		shards:  make([]demuxShard[T], shards),
+	}
+	d.free.New = func() any {
+		s := make([]T, 0, batchSize)
+		return &s
+	}
+	return d
+}
+
+// Send queues one item for a shard, tagged with the dependency bits of the
+// coordinator state it reads (TidTag of the thread whose clock the item's
+// processing consults).
+func (d *Demux[T]) Send(shard int, tag uint64, item T) {
+	*d.Slot(shard, tag) = item
+}
+
+// Slot is Send without the copy: it returns a pointer to the queued item
+// for the caller to fill in place. The pointer is valid only until the
+// next Slot, Send, or flush call for the same shard — a full pending
+// batch is dispatched at the start of the next Slot call, never while the
+// caller still holds the pointer.
+func (d *Demux[T]) Slot(shard int, tag uint64) *T {
+	s := &d.shards[shard]
+	if s.pending == nil {
+		s.pending = *(d.free.Get().(*[]T))
+	} else if len(s.pending) >= d.size {
+		d.dispatch(shard)
+		s.pending = *(d.free.Get().(*[]T))
+	}
+	var zero T
+	s.pending = append(s.pending, zero)
+	s.mask |= tag
+	return &s.pending[len(s.pending)-1]
+}
+
+// dispatch hands the shard's pending batch to its worker.
+func (d *Demux[T]) dispatch(shard int) {
+	s := &d.shards[shard]
+	batch := s.pending
+	s.pending = nil
+	s.issued++
+	s.inflight = append(s.inflight, inflight{ticket: s.issued, mask: s.mask})
+	s.mask = 0
+	s.wg.Add(1)
+	d.pool.Submit(shard, func() {
+		defer s.wg.Done()
+		defer s.done.Add(1)
+		d.process(shard, batch)
+		batch = batch[:0]
+		d.free.Put(&batch)
+	})
+}
+
+// prune drops inflight records for batches the worker has finished. The
+// worker's done counter is published before wg.Done, so everything at or
+// below it is complete.
+func (d *Demux[T]) prune(shard int) {
+	s := &d.shards[shard]
+	if len(s.inflight) == 0 {
+		return
+	}
+	doneUpTo := s.done.Load()
+	keep := s.inflight[:0]
+	for _, f := range s.inflight {
+		if f.ticket > doneUpTo {
+			keep = append(keep, f)
+		}
+	}
+	s.inflight = keep
+}
+
+// depends reports whether the shard has queued or running work whose tags
+// intersect tag.
+func (d *Demux[T]) depends(shard int, tag uint64) bool {
+	s := &d.shards[shard]
+	if s.mask&tag != 0 {
+		return true
+	}
+	d.prune(shard)
+	for _, f := range s.inflight {
+		if f.mask&tag != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushShard completes all of one shard's queued work before returning.
+// When the worker is idle and little is pending, the items are processed
+// inline on the caller instead of through the worker.
+func (d *Demux[T]) FlushShard(shard int) {
+	s := &d.shards[shard]
+	d.prune(shard)
+	if len(s.inflight) == 0 && len(s.pending) <= inlineThreshold {
+		if len(s.pending) > 0 {
+			d.process(shard, s.pending)
+			s.pending = s.pending[:0]
+			s.mask = 0
+		}
+		// A batch that panicked still counts as complete (its deferred
+		// done/wg ran), so surface worker panics on this path too.
+		d.pool.Check()
+		return
+	}
+	if len(s.pending) > 0 {
+		d.dispatch(shard)
+	}
+	s.wg.Wait()
+	s.inflight = s.inflight[:0]
+	d.pool.Check()
+}
+
+// FlushTag completes the queued work of every shard whose pending or
+// running items depend on tag — the coordinator calls this before mutating
+// the state those items read (a thread's vector clock, its held-lock set).
+// Shards with no dependent work are left running.
+func (d *Demux[T]) FlushTag(tag uint64) {
+	for i := range d.shards {
+		if d.depends(i, tag) {
+			d.FlushShard(i)
+		}
+	}
+}
+
+// FlushAll completes all queued work on every shard.
+func (d *Demux[T]) FlushAll() {
+	for i := range d.shards {
+		d.FlushShard(i)
+	}
+}
+
+// Close flushes everything and stops the workers. The demux must not be
+// used after Close.
+func (d *Demux[T]) Close() {
+	d.FlushAll()
+	d.pool.Close()
+}

@@ -1,5 +1,8 @@
 // Package event defines the runtime event stream produced by the vm and
-// consumed by race detectors.
+// consumed by race detectors, and the stream plumbing built on it: sink
+// composition (Multi), recording and replay (Trace), and the batching
+// demultiplexer (Demux) that fans one serial stream out to per-shard
+// workers for the sharded detector.
 //
 // The stream is the moral equivalent of what Valgrind hands Helgrind+: a
 // totally ordered sequence of memory accesses, thread lifecycle operations,
@@ -109,13 +112,10 @@ type SinkFunc func(ev *Event)
 // Handle calls f.
 func (f SinkFunc) Handle(ev *Event) { f(ev) }
 
-// Multi fans an event out to several sinks in order.
+// Multi fans an event out to several sinks in order. The returned sink
+// forwards Flush to every member that implements Flusher.
 func Multi(sinks ...Sink) Sink {
-	return SinkFunc(func(ev *Event) {
-		for _, s := range sinks {
-			s.Handle(ev)
-		}
-	})
+	return multiSink(sinks)
 }
 
 // Counter is a Sink that tallies events by kind; used by the performance

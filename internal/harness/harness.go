@@ -33,12 +33,33 @@ var Seeds = []int64{1, 2, 3, 4, 5}
 // Runner executes the paper's experiments on a job engine.
 type Runner struct {
 	eng *sched.Engine
+	// shards partitions each detector run's shadow state across this many
+	// shard workers (see detect.NewSharded); 0 or 1 means single-threaded
+	// detectors. Orthogonal to the engine's workers: the engine
+	// parallelizes across runs, shards parallelize within one.
+	shards int
 }
 
 // NewRunner builds a runner with the given engine options; the zero
 // options mean parallel execution with GOMAXPROCS workers, and
 // Options.Sequential is the strictly-in-order escape hatch.
 func NewRunner(opts sched.Options) *Runner { return &Runner{eng: sched.New(opts)} }
+
+// WithShards sets the per-run detector shard count and returns the
+// runner. Table output is byte-identical for every shard count; use
+// shards on few-core-count batches of big runs, workers on big batches.
+func (r *Runner) WithShards(n int) *Runner {
+	r.shards = n
+	return r
+}
+
+// runShards is the detector shard count jobs should use.
+func (r *Runner) runShards() int {
+	if r.shards < 1 {
+		return 1
+	}
+	return r.shards
+}
 
 // defaultRunner backs the package-level convenience functions.
 var defaultRunner = NewRunner(sched.Options{})
@@ -63,8 +84,9 @@ type accuracyJob struct {
 // runAccuracyJobs scores a list of (tool, case) jobs on the engine and
 // returns whether each case warned, in job order.
 func (r *Runner) runAccuracyJobs(jobs []accuracyJob, seed int64) ([]bool, error) {
+	shards := r.runShards()
 	return sched.Map(r.eng, jobs, func(j accuracyJob) (bool, error) {
-		rep, _, err := detect.Run(j.c.Build(), j.cfg, seed)
+		rep, _, err := detect.RunSharded(j.c.Build(), j.cfg, seed, shards)
 		if err != nil {
 			return false, fmt.Errorf("%s on %s: %w", j.cfg.Name, j.c.Name, err)
 		}
@@ -178,8 +200,8 @@ type ContextResult struct {
 // contextRun measures one (program, tool, seed) run and returns the
 // capped distinct-context count. Each call builds its own program so
 // concurrent runs share nothing.
-func contextRun(build func() *ir.Program, program string, cfg detect.Config, seed int64) (int, error) {
-	rep, _, err := detect.Run(build(), cfg, seed)
+func contextRun(build func() *ir.Program, program string, cfg detect.Config, seed int64, shards int) (int, error) {
+	rep, _, err := detect.RunSharded(build(), cfg, seed, shards)
 	if err != nil {
 		return 0, fmt.Errorf("%s on %s seed %d: %w", cfg.Name, program, seed, err)
 	}
@@ -204,8 +226,9 @@ func foldContexts(program, tool string, perSeed []int) ContextResult {
 // RacyContexts measures one program under one tool configuration across
 // the standard seeds.
 func (r *Runner) RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
+	shards := r.runShards()
 	perSeed, err := sched.Map(r.eng, Seeds, func(seed int64) (int, error) {
-		return contextRun(build, program, cfg, seed)
+		return contextRun(build, program, cfg, seed, shards)
 	})
 	if err != nil {
 		return ContextResult{Program: program, Tool: cfg.Name}, err

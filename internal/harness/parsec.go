@@ -34,8 +34,9 @@ func (r *Runner) ParsecTable(models []parsec.Model) (map[string]map[string]float
 			}
 		}
 	}
+	shards := r.runShards()
 	counts, err := sched.Map(r.eng, jobs, func(j ctxJob) (int, error) {
-		return contextRun(j.m.Build, j.m.Name, j.cfg, j.seed)
+		return contextRun(j.m.Build, j.m.Name, j.cfg, j.seed, shards)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -138,17 +139,22 @@ func (r OverheadRow) EventRatio() float64 {
 
 // Overhead measures the memory/runtime overhead figures for one model:
 // Helgrind+ lib vs Helgrind+ lib+spin(7) on the same program and seed.
-func Overhead(m parsec.Model) (OverheadRow, error) {
+func Overhead(m parsec.Model) (OverheadRow, error) { return overhead(m, 1) }
+
+// overhead is Overhead with the detector shard count threaded through;
+// the figures (events, shadow bytes, loops, edges) are shard-count-
+// independent, only wall-clock changes.
+func overhead(m parsec.Model, shards int) (OverheadRow, error) {
 	row := OverheadRow{Program: m.Name}
 
-	repLib, ctrLib, _, err := detect.RunWithCounter(m.Build(), detect.HelgrindPlusLib(), 1)
+	repLib, ctrLib, _, err := detect.RunWithCounterSharded(m.Build(), detect.HelgrindPlusLib(), 1, shards)
 	if err != nil {
 		return row, fmt.Errorf("lib on %s: %w", m.Name, err)
 	}
 	row.EventsLib = ctrLib.Total
 	row.ShadowLib = repLib.ShadowBytes
 
-	repSpin, ctrSpin, _, err := detect.RunWithCounter(m.Build(), detect.HelgrindPlusLibSpin(7), 1)
+	repSpin, ctrSpin, _, err := detect.RunWithCounterSharded(m.Build(), detect.HelgrindPlusLibSpin(7), 1, shards)
 	if err != nil {
 		return row, fmt.Errorf("lib+spin on %s: %w", m.Name, err)
 	}
@@ -161,7 +167,10 @@ func Overhead(m parsec.Model) (OverheadRow, error) {
 
 // OverheadAll measures every model, one job per model.
 func (r *Runner) OverheadAll() ([]OverheadRow, error) {
-	return sched.Map(r.eng, parsec.Models(), Overhead)
+	shards := r.runShards()
+	return sched.Map(r.eng, parsec.Models(), func(m parsec.Model) (OverheadRow, error) {
+		return overhead(m, shards)
+	})
 }
 
 // OverheadAll measures every model on the shared parallel runner.

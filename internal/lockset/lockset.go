@@ -125,9 +125,20 @@ type Var struct {
 }
 
 // Tracker maintains held locks per thread and Eraser state per variable.
+//
+// The two halves have different owners under detector sharding: held-lock
+// state changes only at lock operations and lives with the event
+// coordinator, while per-variable state is touched on every access and
+// lives with the shadow shard that owns the address (AccessWith carries
+// the held set across). A single-threaded detector uses one Tracker for
+// both, which is the degenerate case of the same split.
 type Tracker struct {
 	held map[event.Tid][]int64
 	vars map[int64]*Var
+	// heldSets memoizes Held per thread between lock operations, so the
+	// coordinator can stamp every access entry with an immutable held-set
+	// snapshot without rebuilding it per event.
+	heldSets map[event.Tid]Set
 }
 
 // NewTracker returns an empty tracker.
@@ -140,6 +151,7 @@ func NewTracker() *Tracker {
 
 // LockAcquired records that t now holds lock.
 func (tr *Tracker) LockAcquired(t event.Tid, lock int64) {
+	delete(tr.heldSets, t)
 	for _, l := range tr.held[t] {
 		if l == lock {
 			return
@@ -150,6 +162,7 @@ func (tr *Tracker) LockAcquired(t event.Tid, lock int64) {
 
 // LockReleased records that t no longer holds lock.
 func (tr *Tracker) LockReleased(t event.Tid, lock int64) {
+	delete(tr.heldSets, t)
 	hs := tr.held[t]
 	for i, l := range hs {
 		if l == lock {
@@ -167,11 +180,34 @@ func (tr *Tracker) Held(t event.Tid) Set {
 // HeldCount returns how many locks t holds.
 func (tr *Tracker) HeldCount(t event.Tid) int { return len(tr.held[t]) }
 
+// HeldSnapshot returns Held(t) memoized until the next lock operation by
+// t. The returned Set is immutable, so it can be read by a shard worker
+// while the tracker keeps tracking other threads' lock operations.
+func (tr *Tracker) HeldSnapshot(t event.Tid) Set {
+	if s, ok := tr.heldSets[t]; ok {
+		return s
+	}
+	s := tr.Held(t)
+	if tr.heldSets == nil {
+		tr.heldSets = make(map[event.Tid]Set)
+	}
+	tr.heldSets[t] = s
+	return s
+}
+
 // Access runs the Eraser state machine for an access by t and reports
 // whether the variable has reached SharedModified with an empty candidate
 // set (a lockset warning). The candidate set after the access is also
 // returned for diagnostics.
 func (tr *Tracker) Access(t event.Tid, addr int64, isWrite bool) (warn bool, cands Set) {
+	return tr.AccessWith(t, addr, isWrite, tr.HeldSnapshot(t))
+}
+
+// AccessWith is Access with the accessing thread's held-lock set supplied
+// by the caller. The sharded detector's coordinator stamps each access
+// with HeldSnapshot of its thread; the shard owning the address then runs
+// the state machine without touching held-lock state at all.
+func (tr *Tracker) AccessWith(t event.Tid, addr int64, isWrite bool, held Set) (warn bool, cands Set) {
 	v := tr.vars[addr]
 	if v == nil {
 		v = &Var{State: Virgin, Candidates: Universal()}
@@ -188,15 +224,15 @@ func (tr *Tracker) Access(t event.Tid, addr int64, isWrite bool) (warn bool, can
 			} else {
 				v.State = Shared
 			}
-			v.Candidates = v.Candidates.Intersect(tr.Held(t))
+			v.Candidates = v.Candidates.Intersect(held)
 		}
 	case Shared:
-		v.Candidates = v.Candidates.Intersect(tr.Held(t))
+		v.Candidates = v.Candidates.Intersect(held)
 		if isWrite && t != v.Owner {
 			v.State = SharedModified
 		}
 	case SharedModified:
-		v.Candidates = v.Candidates.Intersect(tr.Held(t))
+		v.Candidates = v.Candidates.Intersect(held)
 	}
 	return v.State == SharedModified && v.Candidates.IsEmpty(), v.Candidates
 }
@@ -205,11 +241,25 @@ func (tr *Tracker) Access(t event.Tid, addr int64, isWrite bool) (warn bool, can
 func (tr *Tracker) VarState(addr int64) *Var { return tr.vars[addr] }
 
 // Bytes approximates the tracker's footprint for the memory figure.
-func (tr *Tracker) Bytes() int64 {
+func (tr *Tracker) Bytes() int64 { return tr.HeldBytes() + tr.VarBytes() }
+
+// HeldBytes is the held-lock half of Bytes. The memoized held sets are
+// derived data and deliberately uncounted, so the figure stays comparable
+// with the unmemoized implementation.
+func (tr *Tracker) HeldBytes() int64 {
 	var n int64
 	for _, hs := range tr.held {
 		n += int64(len(hs))*8 + 32
 	}
+	return n
+}
+
+// VarBytes is the per-variable half of Bytes. Under sharding the variable
+// state is spread over per-shard trackers; summing their VarBytes with the
+// coordinator's HeldBytes reproduces the single-tracker figure exactly,
+// because every variable lives in exactly one shard.
+func (tr *Tracker) VarBytes() int64 {
+	var n int64
 	for _, v := range tr.vars {
 		n += int64(len(v.Candidates.locks))*8 + 48
 	}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Pool is the streaming counterpart of Engine.ForEach: a set of long-lived
+// workers, each with its own FIFO job queue. Where ForEach runs a batch of
+// independent jobs on any free worker, Pool gives the caller *placement*:
+// jobs submitted to the same worker run serially, in submission order, while
+// different workers run concurrently. That per-worker FIFO guarantee is what
+// the sharded detector builds on — all events of one shadow shard go to one
+// worker, so per-address processing order equals stream order.
+type Pool struct {
+	queues []chan func()
+	wg     sync.WaitGroup
+
+	// panicked holds the first panic value recovered from a job, re-raised
+	// on the submitting goroutine by Check or Close. Workers recover and
+	// keep draining so queued Submit calls never block on a dead worker.
+	mu       sync.Mutex
+	panicked any
+	hasPanic bool
+}
+
+// queueDepth bounds how many jobs may queue per worker before Submit
+// blocks. It is back-pressure, not a correctness knob: deep queues let a
+// fast producer build up a large in-flight working set (and garbage) for
+// no throughput gain, so the bound is kept small.
+const queueDepth = 8
+
+// NewPool starts a pool of the given number of workers (GOMAXPROCS when
+// zero or negative).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{queues: make([]chan func(), workers)}
+	for i := range p.queues {
+		q := make(chan func(), queueDepth)
+		p.queues[i] = q
+		p.wg.Add(1)
+		go p.work(q)
+	}
+	return p
+}
+
+func (p *Pool) work(q chan func()) {
+	defer p.wg.Done()
+	for job := range q {
+		p.run(job)
+	}
+}
+
+func (p *Pool) run(job func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.mu.Lock()
+			if !p.hasPanic {
+				p.panicked, p.hasPanic = r, true
+			}
+			p.mu.Unlock()
+		}
+	}()
+	job()
+}
+
+// Workers returns the number of workers.
+func (p *Pool) Workers() int { return len(p.queues) }
+
+// Submit enqueues a job on one worker's queue. Jobs submitted to the same
+// worker run serially in submission order. Blocks when that worker's queue
+// is full.
+func (p *Pool) Submit(worker int, job func()) {
+	p.queues[worker%len(p.queues)] <- job
+}
+
+// Check re-raises the first panic recovered from a job, if any. Callers
+// that wait for submitted work (the demux flush) call it so a crashing job
+// surfaces on the submitting goroutine instead of vanishing.
+func (p *Pool) Check() {
+	p.mu.Lock()
+	r, ok := p.panicked, p.hasPanic
+	p.mu.Unlock()
+	if ok {
+		panic(r)
+	}
+}
+
+// Close stops all workers after their queues drain, then re-raises any job
+// panic. The pool must not be used after Close.
+func (p *Pool) Close() {
+	for _, q := range p.queues {
+		close(q)
+	}
+	p.wg.Wait()
+	p.Check()
+}

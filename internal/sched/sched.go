@@ -1,18 +1,24 @@
 // Package sched is the experiment engine's job runner: a worker-pool
-// executor with bounded concurrency and deterministic result assembly.
+// executor with bounded concurrency and deterministic result assembly
+// (Engine), plus a streaming pool with per-worker FIFO queues (Pool).
 //
 // The harness submits every (tool × workload × seed) detector run as one
-// job. Jobs are independent — each builds its own ir.Program and runs a
-// fresh detect.Detector — so they can execute on any worker in any order;
-// determinism is recovered at assembly time by keying every job with its
-// index in the submission order. A run through the engine therefore
-// produces byte-identical tables to a strictly sequential run, just
-// faster.
+// Engine job. Jobs are independent — each builds its own ir.Program and
+// runs a fresh detect.Detector — so they can execute on any worker in any
+// order; determinism is recovered at assembly time by keying every job
+// with its index in the submission order. A run through the engine
+// therefore produces byte-identical tables to a strictly sequential run,
+// just faster.
 //
 // The zero-configuration engine uses GOMAXPROCS workers. Sequential mode
 // (Options.Sequential) is the escape hatch that runs every job inline on
 // the submitting goroutine, for debugging and for the determinism tests
 // that compare the two modes.
+//
+// Pool is the second, finer-grained primitive: long-lived workers whose
+// individual queues preserve submission order. The sharded detector pins
+// each shadow shard to one Pool worker to keep per-address event
+// processing in stream order; see event.Demux and internal/detect.
 package sched
 
 import (

@@ -137,7 +137,18 @@ func New(p *ir.Program, opts Options) *VM {
 }
 
 // Run executes the program's "main" function to completion of all threads.
+// If the sink buffers events (event.Flusher — the sharded detector does),
+// it is flushed before Run returns, so callers never observe a result with
+// detection still in flight.
 func (v *VM) Run() (Result, error) {
+	res, err := v.run()
+	if f, ok := v.sink.(event.Flusher); ok {
+		f.Flush()
+	}
+	return res, err
+}
+
+func (v *VM) run() (Result, error) {
 	main := v.prog.FuncByName("main")
 	if main == nil {
 		return Result{}, errors.New("vm: program has no main function")

@@ -1,0 +1,35 @@
+#!/bin/sh
+# check-docs.sh — doc-hygiene gate: every package (internal, cmd,
+# examples) must carry a package-level doc comment. go vet does not
+# enforce this, so CI runs this script (make doc-check).
+#
+# A package passes when at least one of its non-test .go files has a
+# comment line immediately above its `package` clause.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+	ok=0
+	any=0
+	for f in "$dir"/*.go; do
+		case "$f" in
+		*_test.go) continue ;;
+		esac
+		[ -e "$f" ] || continue
+		any=1
+		if awk 'prev ~ /^\/\// && /^package / { found = 1 } { prev = $0 } END { exit !found }' "$f"; then
+			ok=1
+			break
+		fi
+	done
+	# Test-only packages (the root benchmark package) have no non-test
+	# files to carry a package comment.
+	if [ "$any" -eq 1 ] && [ "$ok" -eq 0 ]; then
+		echo "missing package doc comment: $dir" >&2
+		fail=1
+	fi
+done
+if [ "$fail" -ne 0 ]; then
+	echo "doc check failed: add a '// Package <name> ...' comment (see docs/ARCHITECTURE.md)" >&2
+fi
+exit "$fail"
