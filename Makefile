@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fmt-check vet doc-check ci tables
+.PHONY: all build test race bench fuzz-smoke fmt-check vet doc-check ci tables
 
 all: build
 
@@ -19,10 +19,20 @@ race:
 	$(GO) test -race ./...
 
 # Bench smoke: one iteration of the slide-24 accuracy table, enough to
-# catch a broken benchmark harness without burning CI minutes. Run
+# catch a broken benchmark harness without burning CI minutes — and it
+# records the run as BENCH_<date>.json (a `go test -json` stream;
+# benchstat-recoverable, see scripts/bench-save.sh) so the perf
+# trajectory is tracked commit over commit. Run
 # `go test -bench=. -benchtime=1x` to regenerate every table and figure.
 bench:
-	$(GO) test -bench=BenchmarkTable1 -benchtime=1x -run '^$$' .
+	GO=$(GO) sh scripts/bench-save.sh BenchmarkTable1
+
+# Differential fuzz smoke: a bounded, fixed-seed corpus (200 generated
+# programs, all tool presets, 2-shard detectors) scored against the
+# synthesis engine's ground-truth oracle; fails on any oracle-vs-spin
+# disagreement. See cmd/racefuzz and docs/ARCHITECTURE.md.
+fuzz-smoke:
+	$(GO) run ./cmd/racefuzz -n 200 -shards 2 -strict
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -38,7 +48,7 @@ doc-check:
 # Everything CI runs, in CI's order. (The workflow additionally runs the
 # shard determinism tests as a named step before the race suite, purely
 # so a determinism break fails with its own label; `race` covers them.)
-ci: fmt-check vet doc-check build race bench
+ci: fmt-check vet doc-check build race bench fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

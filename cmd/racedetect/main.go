@@ -6,9 +6,10 @@
 //
 //	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-shards N] [-v]
 //
-// Workloads: any PARSEC model name (x264, dedup, ...) or a data-race-test
-// case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...). Use
-// -list to enumerate.
+// Workloads: any PARSEC model name (x264, dedup, ...), a data-race-test
+// case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...), or a
+// generated program of the synthesis engine (synth:<seed>). Use -list to
+// enumerate; the lookup lives in internal/workloads.
 //
 // With -seeds N the workload runs under scheduler seeds 1..N on the
 // parallel experiment engine (one isolated program + detector per seed)
@@ -23,13 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/sched"
-	"adhocrace/internal/workloads/dataracetest"
-	"adhocrace/internal/workloads/parsec"
+	"adhocrace/internal/workloads"
 )
 
 func main() {
@@ -44,10 +43,10 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		listWorkloads()
+		fmt.Print(workloads.FormatList())
 		return
 	}
-	build, ok := findWorkload(*workload)
+	build, ok := workloads.Find(*workload)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "racedetect: unknown workload %q (try -list)\n", *workload)
 		os.Exit(2)
@@ -145,32 +144,4 @@ func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n, s
 	}
 	fmt.Printf("  mean racy contexts: %.1f\n", float64(total)/float64(n))
 	return nil
-}
-
-func findWorkload(name string) (func() *ir.Program, bool) {
-	if m, ok := parsec.ByName(name); ok {
-		return m.Build, true
-	}
-	for _, c := range dataracetest.Suite() {
-		if c.Name == name {
-			return c.Build, true
-		}
-	}
-	return nil, false
-}
-
-func listWorkloads() {
-	fmt.Println("PARSEC models:")
-	for _, m := range parsec.Models() {
-		fmt.Printf("  %-16s (%s, %d LOC)\n", m.Name, m.ParallelModel, m.LOC)
-	}
-	fmt.Println("data-race-test cases:")
-	var names []string
-	for _, c := range dataracetest.Suite() {
-		names = append(names, fmt.Sprintf("  %-40s %s", c.Name, c.Category))
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Println(n)
-	}
 }

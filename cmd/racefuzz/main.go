@@ -1,0 +1,136 @@
+// Command racefuzz is the differential fuzz harness over the workload
+// synthesis engine: it generates seeded random programs with ground truth
+// (internal/synth), runs each under the spin/lib/drd/eraser tool presets on
+// the parallel experiment engine, scores every preset against the built-in
+// happens-before oracle, and — on request — shrinks oracle-vs-spin
+// disagreements to minimal reproducers emitted as Go source ready for
+// internal/workloads/dataracetest.
+//
+// Usage:
+//
+//	racefuzz [-n 100] [-start 1] [-sched-seed 1] [-window 7]
+//	         [-workers N] [-seq] [-shards N]
+//	         [-strict] [-no-oracle] [-shrink] [-emit file] [-sweep] [-v]
+//
+// Examples:
+//
+//	racefuzz -n 500                         # score a 500-seed corpus
+//	racefuzz -n 200 -shards 2 -strict       # the CI smoke configuration
+//	racefuzz -n 40 -window 3 -shrink        # inject disagreements by
+//	                                        # undersizing the spin window,
+//	                                        # shrink the first one
+//	racefuzz -n 5 -sweep                    # window-sensitivity sweep over
+//	                                        # the generated loop shapes
+//
+// With -strict the exit status is 1 when any oracle-vs-spin disagreement
+// or oracle violation is found (proximity variance of other presets does
+// not fail the run). Output is byte-identical for every -workers/-seq/
+// -shards combination.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"adhocrace/internal/sched"
+	"adhocrace/internal/spin"
+	"adhocrace/internal/synth"
+)
+
+func main() {
+	n := flag.Int64("n", 100, "number of generator seeds to fuzz")
+	start := flag.Int64("start", 1, "first generator seed")
+	schedSeed := flag.Int64("sched-seed", 1, "vm scheduler seed for every run")
+	window := flag.Int("window", 7, "spin preset's basic-block window (lower it to inject disagreements)")
+	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
+	seq := flag.Bool("seq", false, "run every job sequentially, in order")
+	shards := flag.Int("shards", 1, "detector shard workers per run")
+	strict := flag.Bool("strict", false, "exit 1 on any oracle-vs-spin disagreement or oracle violation")
+	noOracle := flag.Bool("no-oracle", false, "skip the per-seed ground-truth oracle validation runs")
+	shrink := flag.Bool("shrink", false, "shrink the first oracle-vs-spin disagreement to a minimal reproducer")
+	emit := flag.String("emit", "", "write the shrunk reproducer as Go source to this file (implies -shrink)")
+	sweep := flag.Bool("sweep", false, "print the spin-window sensitivity sweep of each generated program")
+	verbose := flag.Bool("v", false, "print per-fragment ground truth of each generated program")
+	flag.Parse()
+
+	d := &synth.Differ{
+		Eng:         sched.New(sched.Options{Workers: *workers, Sequential: *seq}),
+		Shards:      *shards,
+		SchedSeed:   *schedSeed,
+		Window:      *window,
+		OracleCheck: !*noOracle,
+	}
+
+	if *sweep || *verbose {
+		windows := spin.DefaultSweepWindows
+		for s := *start; s < *start+*n; s++ {
+			w := synth.Generate(s, d.Opts)
+			if *verbose {
+				fmt.Print(w.Describe())
+			}
+			if *sweep {
+				fmt.Print(spin.FormatSweep(w.Name, spin.Sweep(w.Prog, windows)))
+			}
+		}
+	}
+
+	rep, err := d.RunCorpus(*start, *n)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racefuzz: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.Format())
+
+	if *shrink || *emit != "" {
+		if err := shrinkFirst(d, rep, *emit); err != nil {
+			fmt.Fprintf(os.Stderr, "racefuzz: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	if *strict {
+		if bad := rep.Strict(); len(bad) > 0 {
+			fmt.Fprintf(os.Stderr, "racefuzz: strict mode: %d oracle-vs-spin disagreements/violations\n", len(bad))
+			for _, s := range bad {
+				fmt.Fprintf(os.Stderr, "  %s\n", s)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("strict: spin preset agrees with the oracle on the whole corpus")
+	}
+}
+
+// shrinkFirst shrinks the first oracle-vs-spin disagreement of the corpus
+// and prints (and optionally writes) the reproducer.
+func shrinkFirst(d *synth.Differ, rep *synth.CorpusReport, emitPath string) error {
+	var target *synth.Disagreement
+	for i := range rep.Disagreements {
+		if rep.Disagreements[i].Preset == "spin" {
+			target = &rep.Disagreements[i]
+			break
+		}
+	}
+	if target == nil {
+		fmt.Println("shrink: no oracle-vs-spin disagreement to shrink")
+		return nil
+	}
+	fmt.Printf("shrinking: %s\n", target)
+	w := synth.Generate(target.Seed, d.Opts)
+	min, err := d.Shrink(w, *target)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("minimal reproducer (%d of %d fragments):\n", len(min.Frags), len(w.Frags))
+	fmt.Print(min.Describe())
+	src := synth.EmitGo(min, fmt.Sprintf("BuildSynthRepro%d", target.Seed))
+	if emitPath != "" {
+		if err := os.WriteFile(emitPath, []byte(src), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", emitPath)
+	} else {
+		fmt.Println(src)
+	}
+	return nil
+}

@@ -3,15 +3,19 @@
 //
 // Usage:
 //
-//	tables [-t all|1|2|3|4|5|6|perf] [-workers N] [-seq] [-shards N]
+//	tables [-t all|1|2|3|4|5|6|perf|synth] [-workers N] [-seq] [-shards N]
+//	       [-synth-n 100]
 //
-//	1    data-race-test accuracy, four tools (slide 24)
-//	2    spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
-//	3    PARSEC program inventory (slide 26)
-//	4    racy contexts, programs without ad-hoc sync (slide 27)
-//	5    racy contexts, programs with ad-hoc sync (slides 28/29)
-//	6    universal detector, all 13 programs (slide 30)
-//	perf memory and runtime overhead figures (slides 31/32)
+//	1     data-race-test accuracy, four tools (slide 24)
+//	2     spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
+//	3     PARSEC program inventory (slide 26)
+//	4     racy contexts, programs without ad-hoc sync (slide 27)
+//	5     racy contexts, programs with ad-hoc sync (slides 28/29)
+//	6     universal detector, all 13 programs (slide 30)
+//	perf  memory and runtime overhead figures (slides 31/32)
+//	synth corpus-scale accuracy rows over -synth-n generated programs,
+//	      scored against the synthesis engine's ground-truth oracle
+//	      (beyond the paper: see internal/synth and cmd/racefuzz)
 //
 // Experiments run through the parallel experiment engine (GOMAXPROCS
 // workers by default). -workers bounds the concurrency; -seq is the
@@ -31,16 +35,17 @@ import (
 )
 
 func main() {
-	which := flag.String("t", "all", "table to regenerate: all,1,2,3,4,5,6,perf")
+	which := flag.String("t", "all", "table to regenerate: all,1,2,3,4,5,6,perf,synth")
 	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every detector job sequentially, in order")
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
+	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
 	flag.Parse()
 
 	valid := map[string]bool{"all": true, "1": true, "2": true, "3": true,
-		"4": true, "5": true, "6": true, "perf": true}
+		"4": true, "5": true, "6": true, "perf": true, "synth": true}
 	if !valid[*which] {
-		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want all,1,2,3,4,5,6,perf)\n", *which)
+		fmt.Fprintf(os.Stderr, "tables: unknown table %q (want all,1,2,3,4,5,6,perf,synth)\n", *which)
 		os.Exit(2)
 	}
 
@@ -89,6 +94,16 @@ func main() {
 			return err
 		}
 		fmt.Println(harness.FormatOverhead(rows))
+		return nil
+	})
+	run("synth", func() error {
+		rows, rep, err := runner.SynthCorpus(*synthN, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(harness.FormatSynth(
+			fmt.Sprintf("Synth corpus — %d generated programs vs the ground-truth oracle", *synthN),
+			rows, rep))
 		return nil
 	})
 }

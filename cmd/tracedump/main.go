@@ -1,10 +1,15 @@
 // Command tracedump inspects a workload the way the instrumentation phase
-// sees it: the IR disassembly, the control-flow structure, and the spinning
-// read loops classified at a given window.
+// sees it: the IR disassembly, the control-flow structure, the spinning
+// read loops classified at a given window, and (with -sweep) the window
+// sensitivity of the classification.
 //
 // Usage:
 //
-//	tracedump -w <workload> [-window 7] [-asm]
+//	tracedump -w <workload> [-window 7] [-asm] [-sweep]
+//	tracedump -list
+//
+// Workload names resolve through the shared registry (internal/workloads):
+// PARSEC models, data-race-test cases, and synth:<seed> generated programs.
 package main
 
 import (
@@ -13,21 +18,25 @@ import (
 	"os"
 
 	"adhocrace/internal/cfg"
-	"adhocrace/internal/ir"
 	"adhocrace/internal/spin"
-	"adhocrace/internal/workloads/dataracetest"
-	"adhocrace/internal/workloads/parsec"
+	"adhocrace/internal/workloads"
 )
 
 func main() {
-	workload := flag.String("w", "", "workload name")
+	workload := flag.String("w", "", "workload name (see -list)")
 	window := flag.Int("window", 7, "spin-loop basic-block window")
 	asm := flag.Bool("asm", false, "dump full disassembly")
+	sweep := flag.Bool("sweep", false, "print the spin-window sensitivity sweep")
+	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
 
-	build, ok := findWorkload(*workload)
+	if *list {
+		fmt.Print(workloads.FormatList())
+		return
+	}
+	build, ok := workloads.Find(*workload)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "tracedump: unknown workload %q\n", *workload)
+		fmt.Fprintf(os.Stderr, "tracedump: unknown workload %q (try -list)\n", *workload)
 		os.Exit(2)
 	}
 	p := build()
@@ -53,16 +62,7 @@ func main() {
 		fmt.Printf("  %s in %s\n", l, p.Funcs[l.Func].Name)
 	}
 	fmt.Printf("condition symbols: %v\n", ins.CondSyms())
-}
-
-func findWorkload(name string) (func() *ir.Program, bool) {
-	if m, ok := parsec.ByName(name); ok {
-		return m.Build, true
+	if *sweep {
+		fmt.Print(spin.FormatSweep(p.Name, spin.Sweep(p, spin.DefaultSweepWindows)))
 	}
-	for _, c := range dataracetest.Suite() {
-		if c.Name == name {
-			return c.Build, true
-		}
-	}
-	return nil, false
 }

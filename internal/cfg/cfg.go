@@ -255,3 +255,17 @@ func (g *Graph) fillExits(l *Loop) {
 		return l.Exits[i][1] < l.Exits[j][1]
 	})
 }
+
+// LoopSizes returns the basic-block counts of the function's natural
+// loops, sorted ascending — the shape summary the spin-window sensitivity
+// sweep (spin.Sweep) and loop-shape diagnostics work from.
+func LoopSizes(fn *ir.Func) []int {
+	g := New(fn)
+	loops := g.NaturalLoops()
+	sizes := make([]int, len(loops))
+	for i, l := range loops {
+		sizes[i] = l.NumBlocks()
+	}
+	sort.Ints(sizes)
+	return sizes
+}

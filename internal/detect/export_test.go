@@ -1,0 +1,9 @@
+package detect
+
+// Bridges for the external test package (detect_test, used by tests that
+// import the workload packages and would otherwise cycle back into
+// detect): share the in-package test helpers instead of copying them.
+var (
+	MustRunForTest     = mustRun
+	RacyProgramForTest = racyProgram
+)

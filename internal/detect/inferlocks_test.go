@@ -1,8 +1,13 @@
-package detect
+// Lock-inference tests live in the external test package: they import the
+// accuracy suite (which, via the synthesis engine, imports detect — an
+// import cycle for an in-package test) and reach the shared in-package
+// helpers through the export_test.go bridge.
+package detect_test
 
 import (
 	"testing"
 
+	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/workloads/dataracetest"
 )
@@ -73,7 +78,7 @@ func TestLockInferenceFixesFastPathAcquire(t *testing.T) {
 	// identification the universal detector produces the false positive.
 	var fpSeed int64 = -1
 	for seed := int64(1); seed <= 40; seed++ {
-		rep := mustRun(t, p, HelgrindPlusNolibSpin(7), seed)
+		rep := detect.MustRunForTest(t, p, detect.HelgrindPlusNolibSpin(7), seed)
 		if rep.HasWarnings() {
 			fpSeed = seed
 			break
@@ -84,7 +89,7 @@ func TestLockInferenceFixesFastPathAcquire(t *testing.T) {
 	}
 
 	// The extension must be clean on that same schedule.
-	rep := mustRun(t, p, HelgrindPlusNolibSpinLocks(7), fpSeed)
+	rep := detect.MustRunForTest(t, p, detect.HelgrindPlusNolibSpinLocks(7), fpSeed)
 	if rep.HasWarnings() {
 		t.Errorf("lock inference still reported: %v", rep.Warnings)
 	}
@@ -96,7 +101,7 @@ func TestLockInferenceFixesFastPathAcquire(t *testing.T) {
 func TestLockInferenceCleanOnAllSeeds(t *testing.T) {
 	p := twoPhaseLockProgram(t)
 	for seed := int64(1); seed <= 20; seed++ {
-		rep := mustRun(t, p, HelgrindPlusNolibSpinLocks(7), seed)
+		rep := detect.MustRunForTest(t, p, detect.HelgrindPlusNolibSpinLocks(7), seed)
 		if rep.HasWarnings() {
 			t.Errorf("seed %d: %v", seed, rep.Warnings)
 		}
@@ -106,10 +111,10 @@ func TestLockInferenceCleanOnAllSeeds(t *testing.T) {
 func TestLockInferenceDoesNotMaskRealRaces(t *testing.T) {
 	// A genuine race next to a lock word must still be caught with the
 	// extension on.
-	p := racyProgram(t)
+	p := detect.RacyProgramForTest(t)
 	found := false
 	for seed := int64(1); seed <= 5; seed++ {
-		if mustRun(t, p, HelgrindPlusNolibSpinLocks(7), seed).HasWarnings() {
+		if detect.MustRunForTest(t, p, detect.HelgrindPlusNolibSpinLocks(7), seed).HasWarnings() {
 			found = true
 			break
 		}
@@ -128,7 +133,7 @@ func TestLockInferencePreservesTable1(t *testing.T) {
 	}
 	fa, mr := 0, 0
 	for _, c := range dataracetest.Suite() {
-		rep, _, err := Run(c.Build(), HelgrindPlusNolibSpinLocks(7), 1)
+		rep, _, err := detect.Run(c.Build(), detect.HelgrindPlusNolibSpinLocks(7), 1)
 		if err != nil {
 			t.Fatalf("%s: %v", c.Name, err)
 		}

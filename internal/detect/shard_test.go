@@ -1,4 +1,8 @@
-package detect
+// Shard determinism tests live in the external test package: they drive
+// the detector exclusively through its exported API, and they pull in the
+// workload packages (which, via the synthesis engine, import detect —
+// an import cycle for an in-package test).
+package detect_test
 
 import (
 	"fmt"
@@ -6,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/workloads/dataracetest"
 	"adhocrace/internal/workloads/parsec"
@@ -19,7 +24,7 @@ var shardCounts = []int{2, 4, 8}
 // equal fingerprints are observably identical: every warning with all its
 // fields, every counter, the shadow accounting, and the derived context
 // metrics.
-func fingerprint(rep *Report) string {
+func fingerprint(rep *detect.Report) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "config=%s events=%d spinEdges=%d spinLoops=%d inferredLocks=%d shadowBytes=%d\n",
 		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops,
@@ -33,15 +38,15 @@ func fingerprint(rep *Report) string {
 
 // checkShardDeterminism runs one (program, config, seed) under every shard
 // count and asserts byte-identical reports.
-func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, cfg Config, seed int64) {
+func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, cfg detect.Config, seed int64) {
 	t.Helper()
-	base, _, err := RunSharded(build(), cfg, seed, 1)
+	base, _, err := detect.RunSharded(build(), cfg, seed, 1)
 	if err != nil {
 		t.Fatalf("%s under %s seed %d (1 shard): %v", name, cfg.Name, seed, err)
 	}
 	want := fingerprint(base)
 	for _, n := range shardCounts {
-		rep, _, err := RunSharded(build(), cfg, seed, n)
+		rep, _, err := detect.RunSharded(build(), cfg, seed, n)
 		if err != nil {
 			t.Fatalf("%s under %s seed %d (%d shards): %v", name, cfg.Name, seed, n, err)
 		}
@@ -56,7 +61,7 @@ func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, 
 // four paper tools plus the Eraser reference: sharded reports must be
 // byte-identical to the single-threaded detector on every case.
 func TestShardDeterminismSuite(t *testing.T) {
-	cfgs := append(PaperTools(7), Eraser(), HelgrindPlusNolibSpinLocks(7))
+	cfgs := append(detect.PaperTools(7), detect.Eraser(), detect.HelgrindPlusNolibSpinLocks(7))
 	for _, c := range dataracetest.Suite() {
 		for _, cfg := range cfgs {
 			checkShardDeterminism(t, c.Build, c.Name, cfg, 1)
@@ -74,7 +79,7 @@ func TestShardDeterminismParsec(t *testing.T) {
 		if !ok {
 			t.Fatalf("no model %q", name)
 		}
-		for _, cfg := range PaperTools(7) {
+		for _, cfg := range detect.PaperTools(7) {
 			for _, seed := range []int64{1, 3} {
 				checkShardDeterminism(t, m.Build, m.Name, cfg, seed)
 			}
@@ -92,11 +97,11 @@ func TestShardStress(t *testing.T) {
 	for rep := 0; rep < 3; rep++ {
 		for _, name := range models {
 			m, _ := parsec.ByName(name)
-			for _, cfg := range []Config{HelgrindPlusLibSpin(7), HelgrindPlusNolibSpin(7)} {
+			for _, cfg := range []detect.Config{detect.HelgrindPlusLibSpin(7), detect.HelgrindPlusNolibSpin(7)} {
 				wg.Add(1)
-				go func(build func() *ir.Program, cfg Config) {
+				go func(build func() *ir.Program, cfg detect.Config) {
 					defer wg.Done()
-					if _, _, err := RunSharded(build(), cfg, 1, 8); err != nil {
+					if _, _, err := detect.RunSharded(build(), cfg, 1, 8); err != nil {
 						t.Errorf("sharded run failed: %v", err)
 					}
 				}(m.Build, cfg)

@@ -1,0 +1,53 @@
+package spin
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocrace/internal/cfg"
+	"adhocrace/internal/ir"
+)
+
+// DefaultSweepWindows is the window set of the paper's slide-25
+// sensitivity experiment — the canonical sweep the CLIs print.
+var DefaultSweepWindows = []int{3, 6, 7, 8}
+
+// SweepPoint is one window of a sensitivity sweep: how many loops the
+// classifier accepts at that window, out of how many natural loops the
+// program has at all.
+type SweepPoint struct {
+	Window     int
+	Classified int
+	Natural    int
+}
+
+// Sweep runs the instrumentation phase at each window and reports the
+// classification count — the slide-25 sensitivity experiment as a library
+// call, usable on generated programs (cmd/racefuzz -sweep) as well as the
+// fixed suite. The natural-loop count is window-independent context.
+func Sweep(p *ir.Program, windows []int) []SweepPoint {
+	natural := 0
+	for _, fn := range p.Funcs {
+		natural += len(cfg.LoopSizes(fn))
+	}
+	out := make([]SweepPoint, 0, len(windows))
+	for _, w := range windows {
+		out = append(out, SweepPoint{
+			Window:     w,
+			Classified: Analyze(p, w).NumLoops(),
+			Natural:    natural,
+		})
+	}
+	return out
+}
+
+// FormatSweep renders a sweep as one line per window.
+func FormatSweep(name string, points []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "window sensitivity of %s:\n", name)
+	for _, pt := range points {
+		fmt.Fprintf(&b, "  window %d: %d/%d natural loops classified as spinning read loops\n",
+			pt.Window, pt.Classified, pt.Natural)
+	}
+	return b.String()
+}

@@ -1,0 +1,479 @@
+package synth
+
+import (
+	"fmt"
+
+	"adhocrace/internal/ir"
+	"adhocrace/internal/synclib"
+)
+
+// emitFragment builds one fragment into the program under construction and
+// records its labelled variables. It returns the fragment's worker function
+// names, in spawn order.
+func emitFragment(w *Workload, b *ir.Builder, lib *synclib.Lib, f Fragment) []string {
+	switch f.Kind {
+	case KindSpinPlain:
+		return emitSpinHandoff(w, b, f, false, false)
+	case KindSpinAtomic:
+		return emitSpinHandoff(w, b, f, true, true)
+	case KindSpinRetry:
+		return emitSpinRetry(w, b, f)
+	case KindSpinDoubleChecked:
+		return emitSpinDoubleChecked(w, b, f)
+	case KindSpinFlagReuse:
+		return emitSpinFlagReuse(w, b, f)
+	case KindLock:
+		return emitLock(w, b, lib, f)
+	case KindCondvar:
+		return emitCondvar(w, b, lib, f)
+	case KindBarrier:
+		return emitBarrier(w, b, lib, f)
+	case KindRacyPlain:
+		return emitRacyPlain(w, b, f)
+	case KindRacyAdhoc:
+		return emitRacyAdhoc(w, b, f)
+	case KindRacyWindow:
+		return emitRacyWindow(w, b, f)
+	case KindRacyAtomicMix:
+		return emitRacyAtomicMix(w, b, f)
+	default:
+		panic(fmt.Sprintf("synth: unknown fragment kind %d", f.Kind))
+	}
+}
+
+// addVar allocates a fragment-namespaced global and records its label.
+func addVar(w *Workload, b *ir.Builder, f Fragment, stem string, words int, role VarRole, racy bool) int64 {
+	sym := f.prefix() + stem
+	var addr int64
+	if words == 1 {
+		addr = b.Global(sym)
+	} else {
+		addr = b.GlobalArray(sym, words)
+	}
+	w.Vars = append(w.Vars, Var{Sym: sym, Addr: addr, Words: words, Frag: f.Index, Role: role, Racy: racy})
+	return addr
+}
+
+// worker starts a fragment worker function with an attributable location.
+func worker(b *ir.Builder, f Fragment, role string, i int) (*ir.FuncBuilder, string) {
+	name := fmt.Sprintf("%sw%d", f.prefix(), i)
+	fb := b.Func(name, 0)
+	fb.SetLoc(fmt.Sprintf("%s%s.c", f.prefix(), role), 10)
+	return fb, name
+}
+
+// loopBlocks clamps the fragment's spin-loop size to the valid 2..7 range
+// (7 is the paper's window; larger loops would leave the model).
+func loopBlocks(f Fragment) int {
+	if f.Blocks < 2 {
+		return 2
+	}
+	if f.Blocks > 7 {
+		return 7
+	}
+	return f.Blocks
+}
+
+// spinUntil emits a spinning read loop of the requested block count that
+// waits until the flag's zero-ness matches wantZero: wantZero=false waits
+// for the flag to become non-zero (the usual hand-off), wantZero=true waits
+// for a reset. Pad blocks model the register arithmetic the paper found in
+// real loop conditions.
+func spinUntil(fb *ir.FuncBuilder, flag int64, sym string, blocks int, atomic, wantZero bool) {
+	zero := fb.Const(0)
+	header := fb.NewBlock()
+	pads := make([]int, 0, blocks-2)
+	for i := 0; i < blocks-2; i++ {
+		pads = append(pads, fb.NewBlock())
+	}
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Jmp(header)
+	fb.SetBlock(header)
+	a := fb.Addr(flag, sym)
+	var v int
+	if atomic {
+		v = fb.AtomicLoad(a, sym)
+	} else {
+		v = fb.Load(a, sym)
+	}
+	var waiting int
+	if wantZero {
+		waiting = fb.CmpNE(v, zero)
+	} else {
+		waiting = fb.CmpEQ(v, zero)
+	}
+	next := body
+	if len(pads) > 0 {
+		next = pads[0]
+	}
+	fb.Br(waiting, next, exit)
+	for i, p := range pads {
+		fb.SetBlock(p)
+		x := fb.Const(int64(i + 1))
+		y := fb.Add(x, x)
+		_ = fb.Mul(y, x)
+		if i+1 < len(pads) {
+			fb.Jmp(pads[i+1])
+		} else {
+			fb.Jmp(body)
+		}
+	}
+	fb.SetBlock(body)
+	fb.Yield()
+	fb.Jmp(header)
+	fb.SetBlock(exit)
+}
+
+// setFlag emits flag = val, atomically or plainly.
+func setFlag(fb *ir.FuncBuilder, flag int64, sym string, val int64, atomic bool) {
+	v := fb.Const(val)
+	a := fb.Addr(flag, sym)
+	if atomic {
+		fb.AtomicStore(a, v, sym)
+	} else {
+		fb.Store(a, v, sym)
+	}
+}
+
+// touch emits one load-increment-store round on a global.
+func touch(fb *ir.FuncBuilder, g int64, sym string) {
+	one := fb.Const(1)
+	a := fb.Addr(g, sym)
+	v := fb.Load(a, sym)
+	v1 := fb.Add(v, one)
+	fb.Store(a, v1, sym)
+}
+
+// touchIdx emits a load-increment-store round on array[idx].
+func touchIdx(fb *ir.FuncBuilder, base int64, sym string, idx int) {
+	one := fb.Const(1)
+	ireg := fb.Const(int64(idx))
+	v := fb.LoadIdx(base, ireg, sym)
+	v1 := fb.Add(v, one)
+	ireg2 := fb.Const(int64(idx))
+	fb.StoreIdx(base, ireg2, v1, sym)
+}
+
+// filler emits `events` memory events on a private scratch cell, pushing
+// anything after it beyond DRD's segment-history window in stream order.
+func filler(fb *ir.FuncBuilder, scratch int64, sym string, events int) {
+	rounds := events / 2
+	zero := fb.Const(0)
+	one := fb.Const(1)
+	limit := fb.Const(int64(rounds))
+	i := fb.Mov(zero)
+	a := fb.Addr(scratch, sym)
+	header := fb.NewBlock()
+	body := fb.NewBlock()
+	exit := fb.NewBlock()
+	fb.Jmp(header)
+	fb.SetBlock(header)
+	c := fb.CmpLT(i, limit)
+	fb.Br(c, body, exit)
+	fb.SetBlock(body)
+	v := fb.Load(a, sym)
+	v1 := fb.Add(v, one)
+	fb.Store(a, v1, sym)
+	fb.BinTo(ir.OpAdd, i, i, one)
+	fb.Jmp(header)
+	fb.SetBlock(exit)
+}
+
+// emitSpinHandoff is the canonical ad-hoc hand-off: the writer touches DATA
+// and raises FLAG; the spinner waits in a spinning read loop and touches
+// DATA. Race-free — the flag-transfer edge orders the touches. With
+// long=true the writer inserts a window-separating filler before raising
+// the flag, so only the flag itself (invisible to DRD when atomic) stays
+// close to the spinner's reads.
+func emitSpinHandoff(w *Workload, b *ir.Builder, f Fragment, atomic, long bool) []string {
+	flag := addVar(w, b, f, "FLAG", 1, RoleFlag, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, false)
+	var scratch int64
+	if long {
+		scratch = addVar(w, b, f, "SCRATCH", 1, RoleScratch, false)
+	}
+	fsym, dsym := f.prefix()+"FLAG", f.prefix()+"DATA"
+
+	wr, wname := worker(b, f, "writer", 0)
+	touch(wr, data, dsym)
+	if long {
+		filler(wr, scratch, f.prefix()+"SCRATCH", fillerEvents)
+	}
+	setFlag(wr, flag, fsym, 1, atomic)
+	wr.Ret(ir.NoReg)
+
+	sp, sname := worker(b, f, "spinner", 1)
+	spinUntil(sp, flag, fsym, loopBlocks(f), atomic, false)
+	touch(sp, data, dsym)
+	sp.Ret(ir.NoReg)
+	return []string{wname, sname}
+}
+
+// emitSpinRetry is the excluded idiom: the wait loop's condition involves a
+// retry counter — an induction variable — so the classifier rejects the
+// loop even though the hand-off is real. Race-free in reality; the spin
+// preset is expected to false-positive (and the oracle says so).
+func emitSpinRetry(w *Workload, b *ir.Builder, f Fragment) []string {
+	flag := addVar(w, b, f, "FLAG", 1, RoleFlag, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, false)
+	fsym, dsym := f.prefix()+"FLAG", f.prefix()+"DATA"
+
+	wr, wname := worker(b, f, "writer", 0)
+	touch(wr, data, dsym)
+	setFlag(wr, flag, fsym, 1, false)
+	wr.Ret(ir.NoReg)
+
+	sp, sname := worker(b, f, "spinner", 1)
+	zero := sp.Const(0)
+	one := sp.Const(1)
+	limit := sp.Const(1 << 40)
+	n := sp.Mov(zero)
+	header := sp.NewBlock()
+	pads := make([]int, 0, loopBlocks(f)-2)
+	for i := 0; i < loopBlocks(f)-2; i++ {
+		pads = append(pads, sp.NewBlock())
+	}
+	body := sp.NewBlock()
+	exit := sp.NewBlock()
+	sp.Jmp(header)
+	sp.SetBlock(header)
+	a := sp.Addr(flag, fsym)
+	v := sp.Load(a, fsym)
+	unset := sp.CmpEQ(v, zero)
+	patient := sp.CmpLT(n, limit)
+	both := sp.Bin(ir.OpAnd, unset, patient)
+	next := body
+	if len(pads) > 0 {
+		next = pads[0]
+	}
+	sp.Br(both, next, exit)
+	for i, p := range pads {
+		sp.SetBlock(p)
+		x := sp.Const(int64(i + 1))
+		_ = sp.Add(x, x)
+		if i+1 < len(pads) {
+			sp.Jmp(pads[i+1])
+		} else {
+			sp.Jmp(body)
+		}
+	}
+	sp.SetBlock(body)
+	sp.BinTo(ir.OpAdd, n, n, one)
+	sp.Yield()
+	sp.Jmp(header)
+	sp.SetBlock(exit)
+	touch(sp, data, dsym)
+	sp.Ret(ir.NoReg)
+	return []string{wname, sname}
+}
+
+// emitSpinDoubleChecked is the hand-off with a double-checked observation:
+// after the spin loop exits, the spinner re-reads the flag and branches on
+// it once more before using the data (both outcomes read the data, at
+// distinct source locations). Race-free; the re-check reads the flag — a
+// confirmed sync variable — outside any loop.
+func emitSpinDoubleChecked(w *Workload, b *ir.Builder, f Fragment) []string {
+	flag := addVar(w, b, f, "FLAG", 1, RoleFlag, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, false)
+	fsym, dsym := f.prefix()+"FLAG", f.prefix()+"DATA"
+
+	wr, wname := worker(b, f, "writer", 0)
+	touch(wr, data, dsym)
+	setFlag(wr, flag, fsym, 1, false)
+	wr.Ret(ir.NoReg)
+
+	sp, sname := worker(b, f, "spinner", 1)
+	spinUntil(sp, flag, fsym, loopBlocks(f), false, false)
+	a := sp.Addr(flag, fsym)
+	v := sp.Load(a, fsym) // the second check
+	ready := sp.NewBlock()
+	slow := sp.NewBlock()
+	end := sp.NewBlock()
+	sp.Br(v, ready, slow)
+	sp.SetBlock(ready)
+	touch(sp, data, dsym)
+	sp.Jmp(end)
+	sp.SetBlock(slow)
+	sp.SetLoc(fmt.Sprintf("%sspinner.c", f.prefix()), 60)
+	touch(sp, data, dsym)
+	sp.Jmp(end)
+	sp.SetBlock(end)
+	sp.Ret(ir.NoReg)
+	return []string{wname, sname}
+}
+
+// emitSpinFlagReuse is the ping-pong: the producer raises the flag, the
+// consumer spins on it, touches the data, and resets the flag; the
+// producer meanwhile spins waiting for the reset and touches the data
+// again. One flag word carries hand-off edges in both directions, and is
+// reused after its reset. Race-free; both loops are within the model.
+func emitSpinFlagReuse(w *Workload, b *ir.Builder, f Fragment) []string {
+	flag := addVar(w, b, f, "FLAG", 1, RoleFlag, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, false)
+	fsym, dsym := f.prefix()+"FLAG", f.prefix()+"DATA"
+
+	wr, wname := worker(b, f, "writer", 0)
+	touch(wr, data, dsym)
+	setFlag(wr, flag, fsym, 1, false)
+	spinUntil(wr, flag, fsym, loopBlocks(f), false, true) // await the reset
+	touch(wr, data, dsym)
+	wr.Ret(ir.NoReg)
+
+	sp, sname := worker(b, f, "spinner", 1)
+	spinUntil(sp, flag, fsym, loopBlocks(f), false, false)
+	touch(sp, data, dsym)
+	setFlag(sp, flag, fsym, 0, false) // reset: the flag is reused
+	sp.Ret(ir.NoReg)
+	return []string{wname, sname}
+}
+
+// emitLock: Threads workers increment SHARED Rounds times under one mutex.
+func emitLock(w *Workload, b *ir.Builder, lib *synclib.Lib, f Fragment) []string {
+	mu := addVar(w, b, f, "MU", 1, RoleLib, false)
+	shared := addVar(w, b, f, "SHARED", 1, RoleData, false)
+	msym, ssym := f.prefix()+"MU", f.prefix()+"SHARED"
+	names := make([]string, f.Workers())
+	for i := range names {
+		fb, name := worker(b, f, "locker", i)
+		names[i] = name
+		for r := 0; r < f.Rounds; r++ {
+			lib.Lock(fb, mu, msym)
+			touch(fb, shared, ssym)
+			lib.Unlock(fb, mu, msym)
+		}
+		fb.Ret(ir.NoReg)
+	}
+	return names
+}
+
+// emitCondvar: the producer touches DATA and sets the predicate under the
+// mutex, then signals; the consumer waits on the predicate and reads DATA
+// under the same mutex.
+func emitCondvar(w *Workload, b *ir.Builder, lib *synclib.Lib, f Fragment) []string {
+	mu := addVar(w, b, f, "MU", 1, RoleLib, false)
+	cv := addVar(w, b, f, "CV", 1, RoleLib, false)
+	pred := addVar(w, b, f, "PRED", 1, RoleData, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, false)
+	msym, csym := f.prefix()+"MU", f.prefix()+"CV"
+	psym, dsym := f.prefix()+"PRED", f.prefix()+"DATA"
+
+	p, pname := worker(b, f, "producer", 0)
+	lib.Lock(p, mu, msym)
+	touch(p, data, dsym)
+	one := p.Const(1)
+	p.Store(p.Addr(pred, psym), one, psym)
+	lib.Signal(p, cv, csym)
+	lib.Unlock(p, mu, msym)
+	p.Ret(ir.NoReg)
+
+	c, cname := worker(b, f, "consumer", 1)
+	lib.Lock(c, mu, msym)
+	zero := c.Const(0)
+	header := c.NewBlock()
+	body := c.NewBlock()
+	exit := c.NewBlock()
+	c.Jmp(header)
+	c.SetBlock(header)
+	pv := c.Load(c.Addr(pred, psym), psym)
+	waiting := c.CmpEQ(pv, zero)
+	c.Br(waiting, body, exit)
+	c.SetBlock(body)
+	lib.Wait(c, cv, mu, csym, msym)
+	c.Jmp(header)
+	c.SetBlock(exit)
+	touch(c, data, dsym)
+	lib.Unlock(c, mu, msym)
+	c.Ret(ir.NoReg)
+	return []string{pname, cname}
+}
+
+// emitBarrier: Threads workers write rotating cells of one array across two
+// barrier-separated phases — every cell has two writers, ordered only by
+// the barrier.
+func emitBarrier(w *Workload, b *ir.Builder, lib *synclib.Lib, f Fragment) []string {
+	n := f.Workers()
+	bar := addVar(w, b, f, "BAR", 1, RoleLib, false)
+	cells := addVar(w, b, f, "CELLS", n, RoleData, false)
+	bsym, csym := f.prefix()+"BAR", f.prefix()+"CELLS"
+	names := make([]string, n)
+	for i := range names {
+		fb, name := worker(b, f, "phase", i)
+		names[i] = name
+		touchIdx(fb, cells, csym, i)
+		lib.Barrier(fb, bar, bsym, n)
+		touchIdx(fb, cells, csym, (i+1)%n)
+		fb.Ret(ir.NoReg)
+	}
+	return names
+}
+
+// emitRacyPlain: Threads workers touch one cell with no synchronization.
+func emitRacyPlain(w *Workload, b *ir.Builder, f Fragment) []string {
+	x := addVar(w, b, f, "X", 1, RoleData, true)
+	xsym := f.prefix() + "X"
+	names := make([]string, f.Workers())
+	for i := range names {
+		fb, name := worker(b, f, "racer", i)
+		touch(fb, x, xsym)
+		fb.Ret(ir.NoReg)
+		names[i] = name
+	}
+	return names
+}
+
+// emitRacyAdhoc: ad-hoc synchronization present but insufficient — the
+// writer raises the flag first and touches DATA after, so the injected
+// hand-off edge does not cover the late write. Racy.
+func emitRacyAdhoc(w *Workload, b *ir.Builder, f Fragment) []string {
+	flag := addVar(w, b, f, "FLAG", 1, RoleFlag, false)
+	data := addVar(w, b, f, "DATA", 1, RoleData, true)
+	fsym, dsym := f.prefix()+"FLAG", f.prefix()+"DATA"
+
+	wr, wname := worker(b, f, "writer", 0)
+	setFlag(wr, flag, fsym, 1, false)
+	touch(wr, data, dsym) // after the flag: the edge misses this
+	wr.Ret(ir.NoReg)
+
+	sp, sname := worker(b, f, "spinner", 1)
+	spinUntil(sp, flag, fsym, loopBlocks(f), false, false)
+	touch(sp, data, dsym)
+	sp.Ret(ir.NoReg)
+	return []string{wname, sname}
+}
+
+// emitRacyWindow: a genuine race whose conflicting accesses are separated
+// by a window-busting filler in the slow thread.
+func emitRacyWindow(w *Workload, b *ir.Builder, f Fragment) []string {
+	x := addVar(w, b, f, "X", 1, RoleData, true)
+	scratch := addVar(w, b, f, "SCRATCH", 1, RoleScratch, false)
+	xsym := f.prefix() + "X"
+
+	fast, fname := worker(b, f, "fast", 0)
+	touch(fast, x, xsym)
+	fast.Ret(ir.NoReg)
+
+	slow, sname := worker(b, f, "slow", 1)
+	filler(slow, scratch, f.prefix()+"SCRATCH", fillerEvents)
+	touch(slow, x, xsym)
+	slow.Ret(ir.NoReg)
+	return []string{fname, sname}
+}
+
+// emitRacyAtomicMix: one thread writes SHARED atomically, the other touches
+// it plainly — a data race that the atomic sync-variable heuristic hides.
+func emitRacyAtomicMix(w *Workload, b *ir.Builder, f Fragment) []string {
+	shared := addVar(w, b, f, "SHARED", 1, RoleData, true)
+	ssym := f.prefix() + "SHARED"
+
+	aw, aname := worker(b, f, "atomicw", 0)
+	one := aw.Const(1)
+	a := aw.Addr(shared, ssym)
+	aw.AtomicStore(a, one, ssym)
+	aw.Ret(ir.NoReg)
+
+	pw, pname := worker(b, f, "plainw", 1)
+	touch(pw, shared, ssym)
+	pw.Ret(ir.NoReg)
+	return []string{aname, pname}
+}

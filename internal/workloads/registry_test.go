@@ -1,0 +1,46 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFindResolvesEverySource: the shared registry resolves PARSEC models,
+// data-race-test cases, and synth:<seed> programs, and rejects junk.
+func TestFindResolvesEverySource(t *testing.T) {
+	for _, name := range []string{"x264", "ww_two_threads", "synth:42"} {
+		build, ok := Find(name)
+		if !ok {
+			t.Fatalf("Find(%q) failed", name)
+		}
+		p := build()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("Find(%q) built an invalid program: %v", name, err)
+		}
+	}
+	for _, name := range []string{"", "nope", "synth:", "synth:abc"} {
+		if _, ok := Find(name); ok {
+			t.Errorf("Find(%q) unexpectedly resolved", name)
+		}
+	}
+}
+
+// TestSynthSchemeDeterminism: the registry builds the same program the
+// synthesis engine generates for that seed, every time.
+func TestSynthSchemeDeterminism(t *testing.T) {
+	build, _ := Find("synth:7")
+	a, b := build(), build()
+	if a.Disassemble() != b.Disassemble() {
+		t.Fatal("synth:7 is not deterministic through the registry")
+	}
+}
+
+// TestFormatListMentionsEverySource: -list output covers all three groups.
+func TestFormatListMentionsEverySource(t *testing.T) {
+	out := FormatList()
+	for _, want := range []string{"PARSEC models:", "data-race-test cases:", "synth:<seed>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatList missing %q", want)
+		}
+	}
+}

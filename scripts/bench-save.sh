@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench-save.sh — run a benchmark smoke and record the perf trajectory.
+#
+# Writes BENCH_<date>.json in the repo root: the `go test -json` event
+# stream of the run, which carries every benchmark result line with its
+# timestamp, and echoes the result lines to the console. Commit the file
+# to track the trajectory; recover benchstat-format text from a recording
+# with the same extraction this script uses:
+#
+#   grep -o '"Output":"[^"]*"' BENCH_<date>.json \
+#     | sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
+#     | sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)'
+#
+# Usage: [GO=go1.x] bench-save.sh [bench-regexp]  (default BenchmarkTable1)
+set -eu
+bench="${1:-BenchmarkTable1}"
+out="BENCH_$(date +%Y-%m-%d).json"
+"${GO:-go}" test -run '^$' -bench "$bench" -benchtime 1x -json . > "$out"
+grep -o '"Output":"[^"]*"' "$out" \
+	| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
+	| sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)' || true
+echo "recorded $out"
