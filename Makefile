@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz-smoke fmt-check vet doc-check ci tables
+.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check ci tables
 
 all: build
 
@@ -26,6 +26,11 @@ race:
 # `go test -bench=. -benchtime=1x` to regenerate every table and figure.
 bench:
 	GO=$(GO) sh scripts/bench-save.sh BenchmarkTable1
+
+# Diff the two most recent BENCH_*.json records (or any two passed as
+# OLD=/NEW=): ns/op, B/op, allocs/op per benchmark with relative change.
+bench-compare:
+	sh scripts/bench-compare.sh $(OLD) $(NEW)
 
 # Differential fuzz smoke: a bounded, fixed-seed corpus (200 generated
 # programs, all tool presets, 2-shard detectors) scored against the

@@ -16,16 +16,24 @@
 // and the per-seed racy-context counts are reported in seed order.
 //
 // With -shards N each detector run partitions its shadow state across N
-// shard workers (intra-run parallelism). The report is byte-identical to
-// -shards 1; only wall-clock time changes.
+// shard workers (intra-run parallelism). With -overlap the vm emits the
+// event stream into double-buffered trace segments consumed by the
+// detector concurrently with execution. Reports are byte-identical under
+// every combination of the two knobs; only wall-clock time changes.
+//
+// With -stats the run's pipeline counters are printed: events processed,
+// events/sec, shadow bytes, and read-set promotions/demotions (how often
+// the FastTrack epoch fast path had to fall back to a read-set).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/harness"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads"
@@ -38,6 +46,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "scheduler seed")
 	seeds := flag.Int("seeds", 0, "run seeds 1..N in parallel and report per-seed contexts")
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
+	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
+	stats := flag.Bool("stats", false, "print pipeline stats: events, events/sec, shadow bytes, read-set promotions")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
@@ -71,20 +81,27 @@ func main() {
 		os.Exit(2)
 	}
 
+	opts := detect.RunOpts{Shards: *shards}
+	if *overlap {
+		opts = opts.Overlapped()
+	}
+
 	if *seeds > 0 {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "seed" {
 				fmt.Fprintf(os.Stderr, "racedetect: -seed is ignored with -seeds (running seeds 1..%d)\n", *seeds)
 			}
 		})
-		if err := runSeeds(build, cfg, *workload, *seeds, *shards, *verbose); err != nil {
+		if err := runSeeds(build, cfg, *workload, *seeds, opts, *verbose, *stats); err != nil {
 			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	rep, res, err := detect.RunSharded(build(), cfg, *seed, *shards)
+	start := time.Now()
+	rep, res, err := detect.RunOpt(build(), cfg, *seed, opts)
+	elapsed := time.Since(start)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 		os.Exit(1)
@@ -94,6 +111,9 @@ func main() {
 	fmt.Printf("  spin loops classified: %d, happens-before edges injected: %d\n",
 		rep.SpinLoops, rep.SpinEdges)
 	fmt.Printf("  warnings: %d, racy contexts: %d\n", len(rep.Warnings), rep.RacyContexts())
+	if *stats {
+		printStats([]*detect.Report{rep}, elapsed)
+	}
 	if *verbose {
 		for _, w := range rep.Warnings {
 			fmt.Printf("    %s\n", w)
@@ -110,21 +130,25 @@ func main() {
 }
 
 // runSeeds fans the workload out over seeds 1..n on the experiment
-// engine; each job builds its own program and detector, and results are
-// printed in seed order (with every warning, when verbose).
-func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n, shards int, verbose bool) error {
+// engine; the program is compiled once and shared by the seed jobs, and
+// results are printed in seed order (with every warning, when verbose).
+func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n int,
+	opts detect.RunOpts, verbose, stats bool) error {
 	eng := sched.Default()
+	prep := detect.PrepareBuild(build)
 	seedList := make([]int64, n)
 	for i := range seedList {
 		seedList[i] = int64(i + 1)
 	}
+	start := time.Now()
 	reps, err := sched.Map(eng, seedList, func(s int64) (*detect.Report, error) {
-		rep, _, err := detect.RunSharded(build(), cfg, s, shards)
+		rep, _, err := prep.Run(cfg, s, opts)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", s, err)
 		}
 		return rep, nil
 	})
+	elapsed := time.Since(start)
 	if err != nil {
 		return err
 	}
@@ -143,5 +167,18 @@ func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n, s
 		}
 	}
 	fmt.Printf("  mean racy contexts: %.1f\n", float64(total)/float64(n))
+	if stats {
+		printStats(reps, elapsed)
+	}
 	return nil
+}
+
+// printStats renders the -stats block from one or more run reports,
+// through the same accumulator and format the tables footer uses.
+func printStats(reps []*detect.Report, elapsed time.Duration) {
+	var stats harness.RunStats
+	for _, rep := range reps {
+		stats.Observe(rep)
+	}
+	fmt.Print(stats.Footer(elapsed))
 }

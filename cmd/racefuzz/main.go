@@ -46,6 +46,7 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every job sequentially, in order")
 	shards := flag.Int("shards", 1, "detector shard workers per run")
+	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
 	strict := flag.Bool("strict", false, "exit 1 on any oracle-vs-spin disagreement or oracle violation")
 	noOracle := flag.Bool("no-oracle", false, "skip the per-seed ground-truth oracle validation runs")
 	shrink := flag.Bool("shrink", false, "shrink the first oracle-vs-spin disagreement to a minimal reproducer")
@@ -57,6 +58,7 @@ func main() {
 	d := &synth.Differ{
 		Eng:         sched.New(sched.Options{Workers: *workers, Sequential: *seq}),
 		Shards:      *shards,
+		Overlap:     *overlap,
 		SchedSeed:   *schedSeed,
 		Window:      *window,
 		OracleCheck: !*noOracle,

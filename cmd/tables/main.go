@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tables [-t all|1|2|3|4|5|6|perf|synth] [-workers N] [-seq] [-shards N]
-//	       [-synth-n 100]
+//	       [-overlap] [-stats] [-synth-n 100]
 //
 //	1     data-race-test accuracy, four tools (slide 24)
 //	2     spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
@@ -21,14 +21,21 @@
 // workers by default). -workers bounds the concurrency; -seq is the
 // strictly sequential escape hatch; -shards N additionally partitions
 // each detector run's shadow state across N shard workers (intra-run
-// parallelism, for big single runs). Output is byte-identical under every
-// combination of the three knobs.
+// parallelism, for big single runs); -overlap runs each vm and its
+// detector concurrently through double-buffered trace segments. Output is
+// byte-identical under every combination of the four knobs.
+//
+// -stats appends a footer with the detector pipeline counters aggregated
+// over every run: events processed, events/sec, shadow bytes, and
+// read-set promotions (how often the FastTrack epoch fast path promoted
+// to a read-set).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"adhocrace/internal/harness"
 	"adhocrace/internal/sched"
@@ -39,6 +46,8 @@ func main() {
 	workers := flag.Int("workers", 0, "experiment engine workers (0 = GOMAXPROCS)")
 	seq := flag.Bool("seq", false, "run every detector job sequentially, in order")
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
+	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
+	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the tables")
 	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
 	flag.Parse()
 
@@ -49,7 +58,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq}).WithShards(*shards)
+	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq}).
+		WithShards(*shards).WithOverlap(*overlap)
+	var runStats *harness.RunStats
+	if *stats {
+		runStats = &harness.RunStats{}
+		runner.WithStats(runStats)
+	}
+	start := time.Now()
 
 	run := func(name string, f func() error) {
 		if *which != "all" && *which != name {
@@ -106,6 +122,10 @@ func main() {
 			rows, rep))
 		return nil
 	})
+
+	if runStats != nil {
+		fmt.Print(runStats.Footer(time.Since(start)))
+	}
 }
 
 func printParsec(title string, table func() (map[string]map[string]float64, []string, error)) error {

@@ -192,7 +192,10 @@ func (e *Engine) OnWrite(ev *event.Event) {
 	}
 	snap := e.hb.Snapshot(ev.Tid)
 	if ev.RMW && cur != nil {
-		// Release sequence: the RMW extends the history.
+		// Release sequence: the RMW extends the history. The snapshot is
+		// the engine's shared memoized copy, so take a private one before
+		// joining into it.
+		snap = snap.Copy()
 		snap.Join(cur)
 	}
 	e.release[ev.Addr] = snap

@@ -10,7 +10,6 @@ import (
 	"adhocrace/internal/ir"
 	"adhocrace/internal/lockset"
 	"adhocrace/internal/spin"
-	"adhocrace/internal/vc"
 )
 
 // WarningKind classifies a warning.
@@ -83,6 +82,16 @@ type Report struct {
 	InferredLockWords int
 	// ShadowBytes approximates detector shadow-memory consumption.
 	ShadowBytes int64
+	// ReadSetPromotions counts shadow words whose read representation was
+	// promoted from a single epoch to a read-set because genuinely
+	// concurrent reads were observed (see shard.go); a measure of how often
+	// the FastTrack fast path does not suffice. Deterministic for a given
+	// (program, tool, seed) run, independent of shard count and pipeline
+	// mode.
+	ReadSetPromotions int64
+	// ReadSetDemotions counts read-sets collapsed back to the epoch
+	// representation by a write ordered after every recorded read.
+	ReadSetDemotions int64
 }
 
 // distinctContexts deduplicates the warnings' source locations and sorts
@@ -118,9 +127,11 @@ func (r *Report) ContextList() []ir.Loc { return r.distinctContexts() }
 func (r *Report) HasWarnings() bool { return len(r.Warnings) > 0 }
 
 // shadowWord is the per-address detector state, stored by value in the
-// paged shadow memory (see shadow.go). The zero value is a fresh word;
-// the read clocks and read-event map are materialized on first read so an
-// untouched or write-only word costs no allocations.
+// paged shadow memory (see shadow.go). The zero value is a fresh word; the
+// whole hot path is allocation-free — the write side is an epoch, and the
+// read side is the adaptive FastTrack representation of readState, which
+// allocates only on promotion to a read-set (and then from the shard's
+// pool).
 type shadowWord struct {
 	// Last write epoch: thread, that thread's clock component, stream
 	// position, location, atomicity.
@@ -131,12 +142,10 @@ type shadowWord struct {
 	wSeen   bool
 	wAtomic bool
 
-	// Last read per thread: clock component and stream position. Plain
-	// and atomic reads are tracked separately because two atomic accesses
-	// never constitute a data race. Nil until the first read.
-	reads       *vc.Clock
-	readsAtomic *vc.Clock
-	readEvents  map[event.Tid]int64
+	// Read state per flavor. Plain and atomic reads are tracked separately
+	// because two atomic accesses never constitute a data race.
+	reads       readState
+	readsAtomic readState
 
 	// live marks words in use, for the page's ShadowBytes accounting.
 	live bool
@@ -395,7 +404,7 @@ func (d *Detector) Close() {
 // Report finalizes and returns the run's report.
 func (d *Detector) Report() *Report {
 	d.Flush()
-	return &Report{
+	rep := &Report{
 		Config:            d.cfg,
 		Warnings:          mergeWarnings(d.shards),
 		Events:            d.events,
@@ -404,6 +413,11 @@ func (d *Detector) Report() *Report {
 		InferredLockWords: d.adhoc.InferredLockWords(),
 		ShadowBytes:       d.shadowBytes(),
 	}
+	for _, s := range d.shards {
+		rep.ReadSetPromotions += s.promotions
+		rep.ReadSetDemotions += s.demotions
+	}
+	return rep
 }
 
 func (d *Detector) numLoops() int {

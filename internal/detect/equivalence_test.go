@@ -1,0 +1,84 @@
+// Epoch-vs-full-VC equivalence: the adaptive FastTrack read
+// representation (readstate.go) must report exactly what the seed
+// full-vector-clock representation (refreads.go) reports, on every
+// workload we have — the 120-case accuracy suite and a 500-seed synthesis
+// corpus. External test package: it imports the workload and synthesis
+// packages, which cycle back into detect for an in-package test.
+package detect_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/synth"
+	"adhocrace/internal/workloads/dataracetest"
+)
+
+// reportFingerprint renders everything a Report exposes except the shadow
+// accounting and the promotion counters: ShadowBytes charges what the
+// *current* representation holds (the reference keeps read history the
+// epoch layout retires), and promotions exist only in the adaptive
+// representation. Warnings — every field — and all detection counters must
+// match byte for byte.
+func reportFingerprint(rep *detect.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config=%s events=%d spinEdges=%d spinLoops=%d inferredLocks=%d\n",
+		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops, rep.InferredLockWords)
+	fmt.Fprintf(&b, "racyContexts=%d contexts=%v\n", rep.RacyContexts(), rep.ContextList())
+	for i, w := range rep.Warnings {
+		fmt.Fprintf(&b, "warning[%d]=%+v\n", i, w)
+	}
+	return b.String()
+}
+
+// checkEquivalence runs one (program, config, seed) under both read
+// representations and asserts byte-identical reports.
+func checkEquivalence(t *testing.T, build func() *ir.Program, name string, cfg detect.Config, seed int64) {
+	t.Helper()
+	epoch, _, err := detect.Run(build(), cfg, seed)
+	if err != nil {
+		t.Fatalf("%s under %s seed %d (epoch): %v", name, cfg.Name, seed, err)
+	}
+	ref, _, err := detect.Run(build(), detect.FullVCReads(cfg), seed)
+	if err != nil {
+		t.Fatalf("%s under %s seed %d (full VC): %v", name, cfg.Name, seed, err)
+	}
+	want, got := reportFingerprint(ref), reportFingerprint(epoch)
+	if got != want {
+		t.Errorf("%s under %s seed %d: epoch report differs from full-VC reference\n--- full VC ---\n%s--- epoch ---\n%s",
+			name, cfg.Name, seed, want, got)
+	}
+}
+
+// TestEpochFullVCEquivalenceSuite replays the full data-race-test suite
+// under the four paper tools plus the lock-inference variant against the
+// reference representation.
+func TestEpochFullVCEquivalenceSuite(t *testing.T) {
+	cfgs := append(detect.PaperTools(7), detect.HelgrindPlusNolibSpinLocks(7))
+	for _, c := range dataracetest.Suite() {
+		for _, cfg := range cfgs {
+			checkEquivalence(t, c.Build, c.Name, cfg, 1)
+		}
+	}
+}
+
+// TestEpochFullVCEquivalenceSynth replays a 500-seed synthesis corpus (80
+// under -short) under the spin-featured Helgrind+ and DRD — the two
+// presets whose read-side semantics differ most (unlimited dedup-per-addr
+// history vs bounded per-site history with invisible atomics).
+func TestEpochFullVCEquivalenceSynth(t *testing.T) {
+	seeds := int64(500)
+	if testing.Short() {
+		seeds = 80
+	}
+	cfgs := []detect.Config{detect.HelgrindPlusLibSpin(7), detect.DRD()}
+	for seed := int64(1); seed <= seeds; seed++ {
+		w := synth.Generate(seed, synth.Options{})
+		for _, cfg := range cfgs {
+			checkEquivalence(t, func() *ir.Program { return w.Prog }, w.Name, cfg, 1)
+		}
+	}
+}

@@ -7,3 +7,11 @@ var (
 	MustRunForTest     = mustRun
 	RacyProgramForTest = racyProgram
 )
+
+// FullVCReads returns the configuration with the seed full-vector-clock
+// read representation enabled — the reference side of the epoch
+// equivalence tests.
+func FullVCReads(cfg Config) Config {
+	cfg.fullVCReads = true
+	return cfg
+}

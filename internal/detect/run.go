@@ -1,55 +1,148 @@
 package detect
 
 import (
+	"sync"
+
 	"adhocrace/internal/event"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/spin"
 	"adhocrace/internal/vm"
 )
+
+// RunOpts selects the pipeline shape of one detector run. The zero value
+// is the plain synchronous single-threaded pipeline. Every combination
+// produces byte-identical reports; the knobs trade wall-clock time only.
+type RunOpts struct {
+	// Shards partitions the detector's shadow state across this many shard
+	// workers (see NewSharded); values below 2 mean single-threaded.
+	Shards int
+	// SegmentEvents > 0 overlaps vm execution with detection through
+	// double-buffered trace segments of this many events
+	// (vm.Options.SegmentEvents); negative uses event.DefaultSegmentEvents.
+	SegmentEvents int
+}
+
+// Overlapped returns o with the segment overlap enabled at the default
+// segment size (unless a size is already chosen).
+func (o RunOpts) Overlapped() RunOpts {
+	if o.SegmentEvents == 0 {
+		o.SegmentEvents = -1
+	}
+	return o
+}
+
+// Prepared is a workload compiled once and shared by many detector runs:
+// the program plus its instrumentation memoized per spin window. Both are
+// immutable at run time — the vm keeps all execution state private and the
+// spin analysis is purely static — so concurrent runs (the experiment
+// engine's jobs, sharded workers) can share one Prepared. This removes the
+// per-job rebuild + re-instrument cost that used to dominate harness
+// allocations.
+type Prepared struct {
+	Prog *ir.Program
+
+	mu  sync.Mutex
+	ins map[int]*spin.Instrumentation
+}
+
+// Prepare wraps an already-built program for shared runs.
+func Prepare(p *ir.Program) *Prepared {
+	return &Prepared{Prog: p, ins: make(map[int]*spin.Instrumentation)}
+}
+
+// PrepareBuild builds and wraps a workload.
+func PrepareBuild(build func() *ir.Program) *Prepared { return Prepare(build()) }
+
+// Instrument returns cfg's instrumentation phase over the program,
+// memoized per spin window (nil when the spin feature is off). Safe for
+// concurrent use.
+func (pr *Prepared) Instrument(cfg Config) *spin.Instrumentation {
+	if cfg.SpinWindow <= 0 {
+		return nil
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	ins, ok := pr.ins[cfg.SpinWindow]
+	if !ok {
+		ins = cfg.Instrument(pr.Prog)
+		pr.ins[cfg.SpinWindow] = ins
+	}
+	return ins
+}
+
+// Run executes the prepared workload under one tool configuration, seed,
+// and pipeline shape, feeding the event stream through a fresh detector.
+func (pr *Prepared) Run(cfg Config, seed int64, opts RunOpts) (*Report, vm.Result, error) {
+	return runInstrumented(pr.Prog, pr.Instrument(cfg), cfg, seed, opts, nil)
+}
+
+// RunWithCounter is Run with an event counter tapping the stream ahead of
+// the detector.
+func (pr *Prepared) RunWithCounter(cfg Config, seed int64, opts RunOpts) (*Report, *event.Counter, vm.Result, error) {
+	ctr := &event.Counter{}
+	rep, res, err := runInstrumented(pr.Prog, pr.Instrument(cfg), cfg, seed, opts, ctr)
+	return rep, ctr, res, err
+}
 
 // Run executes a program under one tool configuration and seed: it runs the
 // instrumentation phase, executes the program on the VM with the
 // configuration's interception set, and feeds the event stream through a
 // fresh detector.
 func Run(p *ir.Program, cfg Config, seed int64) (*Report, vm.Result, error) {
-	return RunSharded(p, cfg, seed, 1)
+	return RunOpt(p, cfg, seed, RunOpts{})
 }
 
 // RunSharded is Run with the detector's shadow state partitioned across
 // the given number of shard workers (see NewSharded). The report is
 // byte-identical to shards == 1; only wall-clock time changes.
 func RunSharded(p *ir.Program, cfg Config, seed int64, shards int) (*Report, vm.Result, error) {
-	ins := cfg.Instrument(p)
-	d := NewSharded(cfg, ins, p, shards)
-	defer d.Close()
-	res, err := vm.Run(p, vm.Options{
-		Seed:      seed,
-		KnownLibs: cfg.KnownLibs,
-		Instr:     ins,
-		Sink:      d,
-	})
-	return d.Report(), res, err
+	return RunOpt(p, cfg, seed, RunOpts{Shards: shards})
+}
+
+// RunOpt is Run with an explicit pipeline shape.
+func RunOpt(p *ir.Program, cfg Config, seed int64, opts RunOpts) (*Report, vm.Result, error) {
+	return runInstrumented(p, cfg.Instrument(p), cfg, seed, opts, nil)
 }
 
 // RunWithCounter is Run with an event counter attached (for the performance
 // figures measuring instrumentation load).
 func RunWithCounter(p *ir.Program, cfg Config, seed int64) (*Report, *event.Counter, vm.Result, error) {
-	return RunWithCounterSharded(p, cfg, seed, 1)
+	return RunWithCounterOpt(p, cfg, seed, RunOpts{})
 }
 
 // RunWithCounterSharded is RunWithCounter with a sharded detector (see
-// NewSharded). The counter runs on the vm goroutine either way.
+// NewSharded). The counter runs on the event-consuming goroutine either
+// way.
 func RunWithCounterSharded(p *ir.Program, cfg Config, seed int64, shards int) (*Report, *event.Counter, vm.Result, error) {
-	ins := cfg.Instrument(p)
-	d := NewSharded(cfg, ins, p, shards)
-	defer d.Close()
+	return RunWithCounterOpt(p, cfg, seed, RunOpts{Shards: shards})
+}
+
+// RunWithCounterOpt is RunWithCounter with an explicit pipeline shape.
+func RunWithCounterOpt(p *ir.Program, cfg Config, seed int64, opts RunOpts) (*Report, *event.Counter, vm.Result, error) {
 	ctr := &event.Counter{}
+	rep, res, err := runInstrumented(p, cfg.Instrument(p), cfg, seed, opts, ctr)
+	return rep, ctr, res, err
+}
+
+// runInstrumented is the shared run body: build the detector for the
+// requested pipeline shape, execute, report. ctr, when non-nil, taps the
+// stream ahead of the detector.
+func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed int64,
+	opts RunOpts, ctr *event.Counter) (*Report, vm.Result, error) {
+	d := NewSharded(cfg, ins, p, opts.Shards)
+	defer d.Close()
+	var sink event.Sink = d
+	if ctr != nil {
+		sink = event.Multi(ctr, d)
+	}
 	res, err := vm.Run(p, vm.Options{
-		Seed:      seed,
-		KnownLibs: cfg.KnownLibs,
-		Instr:     ins,
-		Sink:      event.Multi(ctr, d),
+		Seed:          seed,
+		KnownLibs:     cfg.KnownLibs,
+		Instr:         ins,
+		Sink:          sink,
+		SegmentEvents: opts.SegmentEvents,
 	})
-	return d.Report(), ctr, res, err
+	return d.Report(), res, err
 }
 
 // Baseline executes the program with no detector attached, for runtime

@@ -1,9 +1,5 @@
 package detect
 
-import (
-	"adhocrace/internal/vc"
-)
-
 // Shadow-memory layout: a two-level page table instead of one flat
 // map[addr]*shadowWord. The IR allocates globals densely in 8-byte cells
 // (ir.Builder.GlobalArray strides by 8 and IndexAddr scales indices by
@@ -88,11 +84,17 @@ func (s *shadowMem) word(addr int64) *shadowWord {
 }
 
 // bytes approximates the shadow state's memory consumption. The model
-// charges every live word the seed implementation's per-word cost (96
-// bytes of word state plus its two read clocks and read-event map) so
-// the paper's memory figures stay comparable across shadow layouts;
-// clocks the paged layout has not needed to materialize yet are charged
-// at their empty-clock header size.
+// charges every live word the seed implementation's per-word cost — 96
+// bytes of word state plus what its two read clocks and read-event map
+// would cost for the reads currently recorded — so the paper's memory
+// figures stay comparable across shadow layouts: a flavor's clock is
+// charged at the seed's dense length (highest recorded reader id + 1, or
+// the empty-clock header when the flavor was never read), and each
+// distinct recorded reader carries the seed's 24-byte read-event map
+// entry (the seed shared one map across both flavors, so a thread that
+// read both ways counts once). Read history the epoch layout has retired
+// (demoted read-sets) is no longer charged — that shrinkage is precisely
+// the layout's saving.
 func (s *shadowMem) bytes() int64 {
 	var n int64
 	for _, pg := range s.pages {
@@ -101,16 +103,20 @@ func (s *shadowMem) bytes() int64 {
 			if !w.live {
 				continue
 			}
-			n += 96 + clockBytes(w.reads) + clockBytes(w.readsAtomic) +
-				int64(len(w.readEvents))*24
+			_, mp := w.reads.readers()
+			_, ma := w.readsAtomic.readers()
+			n += 96 + flavorClockBytes(mp) + flavorClockBytes(ma) +
+				int64(unionReaders(&w.reads, &w.readsAtomic))*24
 		}
 	}
 	return n
 }
 
-func clockBytes(c *vc.Clock) int64 {
-	if c == nil {
+// flavorClockBytes is the seed cost of one flavor's read clock: the dense
+// vector up to the highest recorded reader, or the empty-clock header.
+func flavorClockBytes(maxTid int) int64 {
+	if maxTid < 0 {
 		return 24
 	}
-	return c.Bytes()
+	return int64(maxTid+1)*8 + 24
 }

@@ -95,17 +95,33 @@ type shardState struct {
 	// reportedSite supports per-(addr,loc) deduplication (DRD).
 	reportedSite map[siteKey]bool
 
+	// setPool recycles demoted read-sets (see readstate.go), so promotion
+	// traffic after warm-up allocates nothing.
+	setPool []*readSet
+	// promotions / demotions count read-representation transitions, summed
+	// into the Report.
+	promotions, demotions int64
+
+	// ref, when non-nil, carries the seed full-vector-clock read-side
+	// state instead of the adaptive epochs — the reference mode of the
+	// epoch-equivalence tests (Config.fullVCReads). See refreads.go.
+	ref map[int64]*refWord
+
 	warnings []Warning
 }
 
 func newShardState(cfg *Config, adhoc *core.Engine, stride int64) *shardState {
-	return &shardState{
+	s := &shardState{
 		cfg:          cfg,
 		adhoc:        adhoc,
 		shadow:       newShadowMemStride(stride),
 		locks:        lockset.NewTracker(),
 		reportedSite: make(map[siteKey]bool),
 	}
+	if cfg.fullVCReads {
+		s.ref = make(map[int64]*refWord)
+	}
+	return s
 }
 
 // access runs the per-address half of the detector state machine for one
@@ -147,12 +163,19 @@ func (s *shardState) access(e *entry) {
 		!(isAtomic && w.wAtomic) {
 		raceWith, raceEvent = w.wTid, w.wEvent
 	}
+
+	if s.ref != nil {
+		// Equivalence-test reference mode: seed full-VC read machinery.
+		s.accessRef(e, w, isWrite, isAtomic, raceWith, raceEvent)
+		return
+	}
+
 	// Read-write race: every prior read must happen-before a write. Atomic
 	// writes race only with prior plain reads.
 	if isWrite && raceWith < 0 {
-		raceWith, raceEvent = readConflict(w.reads, w, e.tid, clock)
+		raceWith, raceEvent = w.reads.conflict(e.tid, clock)
 		if raceWith < 0 && !isAtomic {
-			raceWith, raceEvent = readConflict(w.readsAtomic, w, e.tid, clock)
+			raceWith, raceEvent = w.readsAtomic.conflict(e.tid, clock)
 		}
 	}
 
@@ -162,6 +185,22 @@ func (s *shardState) access(e *entry) {
 
 	// Update shadow.
 	if isWrite {
+		// A write ordered after every recorded read of a flavor retires
+		// that flavor's read history: FastTrack's demotion, which is what
+		// keeps promoted read-sets rare and the pool hot. Only licensed
+		// when the configuration's reporting cannot observe the retirement
+		// (Config.forgetfulReadsOK explains the argument). Checked per
+		// flavor — the atomic flavor may demote even on an atomic write
+		// that skipped the conflict scan above, because the predicate is
+		// ordering, not racelessness.
+		if s.cfg.forgetfulReadsOK() {
+			if !w.reads.empty() && w.reads.orderedBefore(clock) {
+				w.reads.demote(s)
+			}
+			if !w.readsAtomic.empty() && w.readsAtomic.orderedBefore(clock) {
+				w.readsAtomic.demote(s)
+			}
+		}
 		w.wSeen = true
 		w.wTid = e.tid
 		w.wTick = clock.Get(int(e.tid))
@@ -169,38 +208,12 @@ func (s *shardState) access(e *entry) {
 		w.wLoc = e.loc
 		w.wAtomic = isAtomic
 	} else {
-		rc := &w.reads
+		rs := &w.reads
 		if isAtomic {
-			rc = &w.readsAtomic
+			rs = &w.readsAtomic
 		}
-		if *rc == nil {
-			*rc = vc.New()
-		}
-		(*rc).Set(int(e.tid), clock.Get(int(e.tid)))
-		if w.readEvents == nil {
-			w.readEvents = make(map[event.Tid]int64)
-		}
-		w.readEvents[e.tid] = e.idx
+		rs.record(s, e.tid, clock, e.idx)
 	}
-}
-
-// readConflict finds a prior read in the clock that is unordered with the
-// current access. A nil clock (no reads of that flavor yet) has no
-// conflicts.
-func readConflict(rc *vc.Clock, w *shadowWord, tid event.Tid, clock *vc.Clock) (event.Tid, int64) {
-	if rc == nil {
-		return -1, -1
-	}
-	for i := 0; i < rc.Len(); i++ {
-		t := event.Tid(i)
-		if t == tid {
-			continue
-		}
-		if rt := rc.Get(i); rt > 0 && rt > clock.Get(i) {
-			return t, w.readEvents[t]
-		}
-	}
-	return -1, -1
 }
 
 func (s *shardState) maybeReport(e *entry, w *shadowWord, isWrite bool, other event.Tid, otherEvent int64) {

@@ -29,6 +29,7 @@ func fingerprint(rep *detect.Report) string {
 	fmt.Fprintf(&b, "config=%s events=%d spinEdges=%d spinLoops=%d inferredLocks=%d shadowBytes=%d\n",
 		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops,
 		rep.InferredLockWords, rep.ShadowBytes)
+	fmt.Fprintf(&b, "promotions=%d demotions=%d\n", rep.ReadSetPromotions, rep.ReadSetDemotions)
 	fmt.Fprintf(&b, "racyContexts=%d contexts=%v\n", rep.RacyContexts(), rep.ContextList())
 	for i, w := range rep.Warnings {
 		fmt.Fprintf(&b, "warning[%d]=%+v\n", i, w)
@@ -36,8 +37,39 @@ func fingerprint(rep *detect.Report) string {
 	return b.String()
 }
 
-// checkShardDeterminism runs one (program, config, seed) under every shard
-// count and asserts byte-identical reports.
+// pipelineModes are the pipeline shapes every determinism test compares
+// against the single-threaded synchronous detector: pure sharding, pure
+// overlap (two segment sizes, one smaller than most streams), and the
+// composition of both.
+func pipelineModes() []struct {
+	name string
+	opts detect.RunOpts
+} {
+	modes := []struct {
+		name string
+		opts detect.RunOpts
+	}{
+		{"overlap", detect.RunOpts{}.Overlapped()},
+		{"overlap-small", detect.RunOpts{SegmentEvents: 64}},
+	}
+	for _, n := range shardCounts {
+		modes = append(modes,
+			struct {
+				name string
+				opts detect.RunOpts
+			}{fmt.Sprintf("shards-%d", n), detect.RunOpts{Shards: n}},
+			struct {
+				name string
+				opts detect.RunOpts
+			}{fmt.Sprintf("shards-%d+overlap", n), detect.RunOpts{Shards: n}.Overlapped()},
+		)
+	}
+	return modes
+}
+
+// checkShardDeterminism runs one (program, config, seed) under every
+// pipeline mode — shard counts, segment overlap, and their composition —
+// and asserts byte-identical reports.
 func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, cfg detect.Config, seed int64) {
 	t.Helper()
 	base, _, err := detect.RunSharded(build(), cfg, seed, 1)
@@ -45,14 +77,14 @@ func checkShardDeterminism(t *testing.T, build func() *ir.Program, name string, 
 		t.Fatalf("%s under %s seed %d (1 shard): %v", name, cfg.Name, seed, err)
 	}
 	want := fingerprint(base)
-	for _, n := range shardCounts {
-		rep, _, err := detect.RunSharded(build(), cfg, seed, n)
+	for _, mode := range pipelineModes() {
+		rep, _, err := detect.RunOpt(build(), cfg, seed, mode.opts)
 		if err != nil {
-			t.Fatalf("%s under %s seed %d (%d shards): %v", name, cfg.Name, seed, n, err)
+			t.Fatalf("%s under %s seed %d (%s): %v", name, cfg.Name, seed, mode.name, err)
 		}
 		if got := fingerprint(rep); got != want {
-			t.Errorf("%s under %s seed %d: %d-shard report differs from single-threaded\n--- 1 shard ---\n%s--- %d shards ---\n%s",
-				name, cfg.Name, seed, n, want, n, got)
+			t.Errorf("%s under %s seed %d: %s report differs from single-threaded\n--- base ---\n%s--- %s ---\n%s",
+				name, cfg.Name, seed, mode.name, want, mode.name, got)
 		}
 	}
 }

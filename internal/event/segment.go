@@ -1,0 +1,166 @@
+package event
+
+import "sync"
+
+// Trace-segmented overlap: the producer (the vm's execution loop) appends
+// events into the current segment buffer; a full segment is handed to a
+// consumer goroutine that drives the downstream sink (the detector
+// coordinator) while the producer fills the other buffer. Execution and
+// detection overlap within one run, yet the downstream sink still observes
+// the exact serial event order — every Handle call happens on the one
+// consumer goroutine, in stream order — so reports are byte-identical to
+// the unsegmented pipeline by construction.
+//
+// Two buffers bound the pipeline: rotating blocks until the consumer has
+// finished a previous segment, which is back-pressure, not a correctness
+// condition. Buffers are recycled through the free channel, so a run costs
+// two segment allocations total regardless of stream length.
+
+// DefaultSegmentEvents is the segment size used when a caller enables
+// overlap without choosing one: big enough to amortize the per-segment
+// hand-off, small enough that two in-flight segments stay a few hundred
+// kilobytes.
+const DefaultSegmentEvents = 2048
+
+// Segmented is a Sink that decouples event production from consumption
+// through double-buffered segments. The producer side (Handle, Flush,
+// Close) must be a single goroutine, exactly like any other Sink. It
+// implements Flusher: Flush dispatches the partial segment, waits for the
+// consumer to drain everything, and then flushes the downstream sink.
+type Segmented struct {
+	down Sink
+	size int
+
+	cur  []Event
+	work chan []Event
+	free chan []Event
+	// pending counts dispatched segments not yet fully consumed; Add on
+	// the producer, Done on the consumer, Wait only in Flush (the producer
+	// again), which is the ordering sync.WaitGroup requires.
+	pending sync.WaitGroup
+	done    chan struct{}
+	closed  bool
+
+	// panicked re-raises a downstream panic on the producer goroutine at
+	// the next operation, so a crashing detector fails the run instead of
+	// killing the process from a bare goroutine.
+	mu       sync.Mutex
+	panicked any
+	hasPanic bool
+}
+
+// NewSegmented starts the consumer goroutine driving down. size <= 0 means
+// DefaultSegmentEvents. The caller owns the lifecycle: Close when done
+// (Flush alone leaves the consumer running for more events).
+func NewSegmented(down Sink, size int) *Segmented {
+	if size <= 0 {
+		size = DefaultSegmentEvents
+	}
+	s := &Segmented{
+		down: down,
+		size: size,
+		cur:  make([]Event, 0, size),
+		work: make(chan []Event, 1),
+		free: make(chan []Event, 2),
+		done: make(chan struct{}),
+	}
+	s.free <- make([]Event, 0, size) // the second buffer of the double buffer
+	go s.consume()
+	return s
+}
+
+// Handle implements Sink: append to the current segment, rotating when
+// full. The hot path is one copy into a preallocated buffer.
+func (s *Segmented) Handle(ev *Event) {
+	s.cur = append(s.cur, *ev)
+	if len(s.cur) >= s.size {
+		s.rotate()
+	}
+}
+
+// rotate dispatches the current segment and takes a recycled buffer,
+// blocking until the consumer has one free.
+func (s *Segmented) rotate() {
+	s.check()
+	s.pending.Add(1)
+	s.work <- s.cur
+	s.cur = (<-s.free)[:0]
+}
+
+// Flush implements Flusher: dispatch the partial segment, wait until the
+// consumer has processed every dispatched event, then flush the
+// downstream sink. On return the downstream has observed the full stream
+// so far.
+func (s *Segmented) Flush() {
+	if len(s.cur) > 0 {
+		s.rotate()
+	}
+	s.pending.Wait()
+	s.check()
+	if f, ok := s.down.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Close flushes and stops the consumer goroutine. Idempotent; the
+// Segmented must not Handle further events after Close. The shutdown
+// completes even when the drain re-raises a downstream panic — the
+// consumer goroutine never outlives Close — and the panic then continues
+// unwinding.
+func (s *Segmented) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	var downPanic any
+	func() {
+		defer func() { downPanic = recover() }()
+		s.Flush()
+	}()
+	close(s.work)
+	<-s.done
+	if downPanic != nil {
+		panic(downPanic)
+	}
+}
+
+// consume is the consumer goroutine: it drains segments in dispatch order,
+// driving the downstream sink, and recycles each buffer when done with it.
+func (s *Segmented) consume() {
+	defer close(s.done)
+	for seg := range s.work {
+		s.runSegment(seg)
+		s.free <- seg
+		s.pending.Done()
+	}
+}
+
+// runSegment feeds one segment downstream, converting a downstream panic
+// into a stored failure (re-raised producer-side by check) so the buffer
+// recycling and pending accounting above survive it.
+func (s *Segmented) runSegment(seg []Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.mu.Lock()
+			if !s.hasPanic {
+				s.panicked, s.hasPanic = r, true
+			}
+			s.mu.Unlock()
+		}
+	}()
+	for i := range seg {
+		s.down.Handle(&seg[i])
+	}
+}
+
+// check re-raises the first downstream panic on the producer, delivering
+// it once so a recovering caller can still shut the pipeline down.
+func (s *Segmented) check() {
+	s.mu.Lock()
+	p, has := s.panicked, s.hasPanic
+	s.panicked, s.hasPanic = nil, false
+	s.mu.Unlock()
+	if has {
+		panic(p)
+	}
+}

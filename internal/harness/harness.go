@@ -3,12 +3,15 @@
 // 27-30), and the memory/runtime overhead figures (slides 31/32).
 //
 // Every experiment decomposes into independent (tool × workload × seed)
-// detector runs. A Runner submits those runs as jobs to a sched.Engine —
-// each job builds its own ir.Program and fresh detect.Detector, so jobs
-// share nothing — and assembles results in submission order, which makes
-// parallel output byte-identical to the sequential escape hatch
-// (sched.Options.Sequential). The package-level functions use a shared
-// parallel runner with GOMAXPROCS workers.
+// detector runs. A Runner submits those runs as jobs to a sched.Engine and
+// assembles results in submission order, which makes parallel output
+// byte-identical to the sequential escape hatch
+// (sched.Options.Sequential). Jobs own all mutable state (vm, detector)
+// but share their workload's compiled inputs — one detect.Prepared per
+// program carries the ir.Program and the per-window instrumentation, both
+// immutable at run time — so a table run compiles each workload once
+// instead of once per (tool, seed) cell. The package-level functions use a
+// shared parallel runner with GOMAXPROCS workers.
 package harness
 
 import (
@@ -38,6 +41,12 @@ type Runner struct {
 	// detectors. Orthogonal to the engine's workers: the engine
 	// parallelizes across runs, shards parallelize within one.
 	shards int
+	// overlap runs every detector job with the vm→detector segment
+	// pipeline (detect.RunOpts.SegmentEvents), overlapping execution and
+	// detection within each run. Output is byte-identical either way.
+	overlap bool
+	// stats, when set, accumulates detector counters across every run.
+	stats *RunStats
 }
 
 // NewRunner builds a runner with the given engine options; the zero
@@ -53,6 +62,19 @@ func (r *Runner) WithShards(n int) *Runner {
 	return r
 }
 
+// WithOverlap toggles the overlapped vm→detector segment pipeline for
+// every run; table output is byte-identical either way.
+func (r *Runner) WithOverlap(on bool) *Runner {
+	r.overlap = on
+	return r
+}
+
+// WithStats attaches a stats accumulator observing every run's report.
+func (r *Runner) WithStats(s *RunStats) *Runner {
+	r.stats = s
+	return r
+}
+
 // runShards is the detector shard count jobs should use.
 func (r *Runner) runShards() int {
 	if r.shards < 1 {
@@ -60,6 +82,18 @@ func (r *Runner) runShards() int {
 	}
 	return r.shards
 }
+
+// runOpts is the pipeline shape every detector job of this runner uses.
+func (r *Runner) runOpts() detect.RunOpts {
+	opts := detect.RunOpts{Shards: r.runShards()}
+	if r.overlap {
+		opts = opts.Overlapped()
+	}
+	return opts
+}
+
+// observe folds a finished run's report into the attached stats, if any.
+func (r *Runner) observe(rep *detect.Report) { r.stats.Observe(rep) }
 
 // defaultRunner backs the package-level convenience functions.
 var defaultRunner = NewRunner(sched.Options{})
@@ -75,21 +109,35 @@ type AccuracyRow struct {
 	FailedCases []string
 }
 
-// accuracyJob is one (tool, case) cell of an accuracy table.
+// accuracyJob is one (tool, case) cell of an accuracy table. The prepared
+// workload is shared by every cell of the same case — jobs reading one
+// compiled program is what keeps a 4-tool table at 120 compilations, not
+// 480.
 type accuracyJob struct {
-	cfg detect.Config
-	c   dataracetest.Case
+	cfg  detect.Config
+	name string
+	prep *detect.Prepared
+}
+
+// prepareSuite compiles the accuracy suite once, in suite order.
+func prepareSuite(cases []dataracetest.Case) []*detect.Prepared {
+	preps := make([]*detect.Prepared, len(cases))
+	for i, c := range cases {
+		preps[i] = detect.Prepare(c.Build())
+	}
+	return preps
 }
 
 // runAccuracyJobs scores a list of (tool, case) jobs on the engine and
 // returns whether each case warned, in job order.
 func (r *Runner) runAccuracyJobs(jobs []accuracyJob, seed int64) ([]bool, error) {
-	shards := r.runShards()
+	opts := r.runOpts()
 	return sched.Map(r.eng, jobs, func(j accuracyJob) (bool, error) {
-		rep, _, err := detect.RunSharded(j.c.Build(), j.cfg, seed, shards)
+		rep, _, err := j.prep.Run(j.cfg, seed, opts)
 		if err != nil {
-			return false, fmt.Errorf("%s on %s: %w", j.cfg.Name, j.c.Name, err)
+			return false, fmt.Errorf("%s on %s: %w", j.cfg.Name, j.name, err)
 		}
+		r.observe(rep)
 		return rep.HasWarnings(), nil
 	})
 }
@@ -117,28 +165,25 @@ func foldAccuracy(tool string, cases []dataracetest.Case, warned []bool) Accurac
 // Accuracy scores one tool configuration over the full data-race-test
 // suite with a fixed seed.
 func (r *Runner) Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
-	cases := dataracetest.Suite()
-	jobs := make([]accuracyJob, len(cases))
-	for i, c := range cases {
-		jobs[i] = accuracyJob{cfg: cfg, c: c}
-	}
-	warned, err := r.runAccuracyJobs(jobs, seed)
+	rows, err := r.AccuracyTable([]detect.Config{cfg}, seed)
 	if err != nil {
 		return AccuracyRow{Tool: cfg.Name}, err
 	}
-	return foldAccuracy(cfg.Name, cases, warned), nil
+	return rows[0], nil
 }
 
 // AccuracyTable scores several configurations (Table 1 uses the four paper
 // tools; Table 2 the spin-window sweep). The full (tool × case) job list
 // is submitted as one batch so a many-core runner parallelizes across
-// tools as well as cases.
+// tools as well as cases; every tool's cell of one case shares that case's
+// compiled workload.
 func (r *Runner) AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
 	cases := dataracetest.Suite()
+	preps := prepareSuite(cases)
 	jobs := make([]accuracyJob, 0, len(cfgs)*len(cases))
 	for _, cfg := range cfgs {
-		for _, c := range cases {
-			jobs = append(jobs, accuracyJob{cfg: cfg, c: c})
+		for i, c := range cases {
+			jobs = append(jobs, accuracyJob{cfg: cfg, name: c.Name, prep: preps[i]})
 		}
 	}
 	warned, err := r.runAccuracyJobs(jobs, seed)
@@ -198,13 +243,14 @@ type ContextResult struct {
 }
 
 // contextRun measures one (program, tool, seed) run and returns the
-// capped distinct-context count. Each call builds its own program so
-// concurrent runs share nothing.
-func contextRun(build func() *ir.Program, program string, cfg detect.Config, seed int64, shards int) (int, error) {
-	rep, _, err := detect.RunSharded(build(), cfg, seed, shards)
+// capped distinct-context count. Concurrent runs share the prepared
+// workload's immutable inputs and nothing else.
+func (r *Runner) contextRun(prep *detect.Prepared, program string, cfg detect.Config, seed int64) (int, error) {
+	rep, _, err := prep.Run(cfg, seed, r.runOpts())
 	if err != nil {
 		return 0, fmt.Errorf("%s on %s seed %d: %w", cfg.Name, program, seed, err)
 	}
+	r.observe(rep)
 	n := rep.RacyContexts()
 	if n > ContextCap {
 		n = ContextCap
@@ -224,11 +270,12 @@ func foldContexts(program, tool string, perSeed []int) ContextResult {
 }
 
 // RacyContexts measures one program under one tool configuration across
-// the standard seeds.
+// the standard seeds; the program is compiled once and shared by the seed
+// jobs.
 func (r *Runner) RacyContexts(build func() *ir.Program, program string, cfg detect.Config) (ContextResult, error) {
-	shards := r.runShards()
+	prep := detect.PrepareBuild(build)
 	perSeed, err := sched.Map(r.eng, Seeds, func(seed int64) (int, error) {
-		return contextRun(build, program, cfg, seed, shards)
+		return r.contextRun(prep, program, cfg, seed)
 	})
 	if err != nil {
 		return ContextResult{Program: program, Tool: cfg.Name}, err

@@ -13,7 +13,8 @@ import (
 // the four paper tools and returns cells[program][tool] = mean contexts.
 // The whole (program × tool × seed) cross product is submitted as one job
 // batch; cells are folded in submission order, so the table is identical
-// whichever order the jobs finished in.
+// whichever order the jobs finished in. Each model is compiled once and
+// shared by its (tool × seed) jobs.
 func (r *Runner) ParsecTable(models []parsec.Model) (map[string]map[string]float64, []string, error) {
 	tools := detect.PaperTools(7)
 	toolNames := make([]string, len(tools))
@@ -22,21 +23,22 @@ func (r *Runner) ParsecTable(models []parsec.Model) (map[string]map[string]float
 	}
 
 	type ctxJob struct {
-		m    parsec.Model
+		prep *detect.Prepared
+		name string
 		cfg  detect.Config
 		seed int64
 	}
 	jobs := make([]ctxJob, 0, len(models)*len(tools)*len(Seeds))
 	for _, m := range models {
+		prep := detect.PrepareBuild(m.Build)
 		for _, cfg := range tools {
 			for _, seed := range Seeds {
-				jobs = append(jobs, ctxJob{m: m, cfg: cfg, seed: seed})
+				jobs = append(jobs, ctxJob{prep: prep, name: m.Name, cfg: cfg, seed: seed})
 			}
 		}
 	}
-	shards := r.runShards()
 	counts, err := sched.Map(r.eng, jobs, func(j ctxJob) (int, error) {
-		return contextRun(j.m.Build, j.m.Name, j.cfg, j.seed, shards)
+		return r.contextRun(j.prep, j.name, j.cfg, j.seed)
 	})
 	if err != nil {
 		return nil, nil, err
@@ -139,25 +141,29 @@ func (r OverheadRow) EventRatio() float64 {
 
 // Overhead measures the memory/runtime overhead figures for one model:
 // Helgrind+ lib vs Helgrind+ lib+spin(7) on the same program and seed.
-func Overhead(m parsec.Model) (OverheadRow, error) { return overhead(m, 1) }
+func Overhead(m parsec.Model) (OverheadRow, error) { return defaultRunner.overhead(m) }
 
-// overhead is Overhead with the detector shard count threaded through;
-// the figures (events, shadow bytes, loops, edges) are shard-count-
-// independent, only wall-clock changes.
-func overhead(m parsec.Model, shards int) (OverheadRow, error) {
+// overhead runs one model's lib/spin pair on the runner's pipeline shape;
+// the figures (events, shadow bytes, loops, edges) are independent of the
+// shard count and overlap knob, only wall-clock changes.
+func (r *Runner) overhead(m parsec.Model) (OverheadRow, error) {
 	row := OverheadRow{Program: m.Name}
+	prep := detect.PrepareBuild(m.Build)
+	opts := r.runOpts()
 
-	repLib, ctrLib, _, err := detect.RunWithCounterSharded(m.Build(), detect.HelgrindPlusLib(), 1, shards)
+	repLib, ctrLib, _, err := prep.RunWithCounter(detect.HelgrindPlusLib(), 1, opts)
 	if err != nil {
 		return row, fmt.Errorf("lib on %s: %w", m.Name, err)
 	}
+	r.observe(repLib)
 	row.EventsLib = ctrLib.Total
 	row.ShadowLib = repLib.ShadowBytes
 
-	repSpin, ctrSpin, _, err := detect.RunWithCounterSharded(m.Build(), detect.HelgrindPlusLibSpin(7), 1, shards)
+	repSpin, ctrSpin, _, err := prep.RunWithCounter(detect.HelgrindPlusLibSpin(7), 1, opts)
 	if err != nil {
 		return row, fmt.Errorf("lib+spin on %s: %w", m.Name, err)
 	}
+	r.observe(repSpin)
 	row.EventsSpin = ctrSpin.Total
 	row.ShadowSpin = repSpin.ShadowBytes
 	row.Loops = repSpin.SpinLoops
@@ -167,9 +173,8 @@ func overhead(m parsec.Model, shards int) (OverheadRow, error) {
 
 // OverheadAll measures every model, one job per model.
 func (r *Runner) OverheadAll() ([]OverheadRow, error) {
-	shards := r.runShards()
 	return sched.Map(r.eng, parsec.Models(), func(m parsec.Model) (OverheadRow, error) {
-		return overhead(m, shards)
+		return r.overhead(m)
 	})
 }
 

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"adhocrace/internal/detect"
+)
+
+// RunStats aggregates detector counters across every run a Runner
+// executes — the plumbing behind `tables -stats` and `racedetect -stats`.
+// Counters are atomic because the experiment engine observes reports from
+// concurrent jobs; totals are order-independent sums, so the footer is as
+// deterministic as the table above it (events/sec excepted, which is wall
+// clock by definition).
+type RunStats struct {
+	Runs        atomic.Int64
+	Events      atomic.Int64
+	ShadowBytes atomic.Int64
+	Promotions  atomic.Int64
+	Demotions   atomic.Int64
+}
+
+// Observe folds one run's report into the totals.
+func (s *RunStats) Observe(rep *detect.Report) {
+	if s == nil || rep == nil {
+		return
+	}
+	s.Runs.Add(1)
+	s.Events.Add(rep.Events)
+	s.ShadowBytes.Add(rep.ShadowBytes)
+	s.Promotions.Add(rep.ReadSetPromotions)
+	s.Demotions.Add(rep.ReadSetDemotions)
+}
+
+// Footer renders the stats block printed under a table run. elapsed is the
+// caller-measured wall time covering the runs.
+func (s *RunStats) Footer(elapsed time.Duration) string {
+	var b strings.Builder
+	events := s.Events.Load()
+	fmt.Fprintf(&b, "stats: %d runs, %d events", s.Runs.Load(), events)
+	if secs := elapsed.Seconds(); secs > 0 {
+		fmt.Fprintf(&b, " (%.0f events/sec)", float64(events)/secs)
+	}
+	fmt.Fprintf(&b, "\nstats: shadow bytes %d (summed over runs), read-set promotions %d, demotions %d\n",
+		s.ShadowBytes.Load(), s.Promotions.Load(), s.Demotions.Load())
+	return b.String()
+}

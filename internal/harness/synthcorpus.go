@@ -35,7 +35,11 @@ func (r *Runner) SynthCorpus(n int64, schedSeed int64) ([]SynthRow, *synth.Corpu
 	d := &synth.Differ{
 		Eng:       r.eng,
 		Shards:    r.runShards(),
+		Overlap:   r.overlap,
 		SchedSeed: schedSeed,
+	}
+	if r.stats != nil {
+		d.Observe = r.stats.Observe
 	}
 	rep, err := d.RunCorpus(1, n)
 	if err != nil {

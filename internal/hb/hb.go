@@ -16,6 +16,16 @@ type Engine struct {
 	threads  []*vc.Clock
 	objs     map[int64]*vc.Clock
 	barriers map[int64]*barrierState
+	// snaps memoizes Snapshot per thread, keyed by the clock's version —
+	// the clock-side analogue of lockset.HeldSnapshot. A release-heavy
+	// stream (every write of a spin condition snapshots the writer) pays
+	// one copy per clock *change* instead of one per snapshot.
+	snaps []snapEntry
+}
+
+type snapEntry struct {
+	ver   uint64
+	clock *vc.Clock
 }
 
 type barrierState struct {
@@ -115,9 +125,23 @@ func (e *Engine) BarrierLeave(t event.Tid, obj int64) {
 	}
 }
 
-// Snapshot returns a copy of thread t's current clock.
+// Snapshot returns a copy of thread t's current clock, memoized per
+// (thread, clock version): consecutive snapshots of an unchanged clock
+// return the same copy. The returned clock is shared with later callers
+// and MUST be treated as immutable — callers that need to mutate it (the
+// ad-hoc engine's release-sequence extension) must Copy it first.
 func (e *Engine) Snapshot(t event.Tid) *vc.Clock {
-	return e.ClockOf(t).Copy()
+	c := e.ClockOf(t)
+	i := int(t)
+	for len(e.snaps) <= i {
+		e.snaps = append(e.snaps, snapEntry{})
+	}
+	if s := &e.snaps[i]; s.clock != nil && s.ver == c.Version() {
+		return s.clock
+	}
+	cp := c.Copy()
+	e.snaps[i] = snapEntry{ver: c.Version(), clock: cp}
+	return cp
 }
 
 // Bytes approximates the engine's memory footprint for the memory figure.

@@ -151,3 +151,39 @@ func TestTransitivity(t *testing.T) {
 		t.Error("happens-before must be transitive across objects")
 	}
 }
+
+// TestSnapshotMemoized checks Snapshot's (thread, version) memoization:
+// unchanged clocks return the shared copy, any clock mutation (own tick or
+// an acquire's join) produces a fresh one, and the shared copy never
+// observes later engine activity.
+func TestSnapshotMemoized(t *testing.T) {
+	e := New()
+	s1 := e.Snapshot(1)
+	if s2 := e.Snapshot(1); s2 != s1 {
+		t.Error("snapshot of an unchanged clock must be memoized")
+	}
+	e.ClockOf(1).Tick(1)
+	s3 := e.Snapshot(1)
+	if s3 == s1 {
+		t.Error("snapshot after a tick must be a fresh copy")
+	}
+	if s1.Get(1) == s3.Get(1) {
+		t.Error("the memoized copy must not observe later ticks")
+	}
+	// An acquire joins without ticking the thread's own component; the memo
+	// must still invalidate.
+	e.Release(2, 77)
+	before := e.Snapshot(1)
+	e.Acquire(1, 77)
+	after := e.Snapshot(1)
+	if after == before {
+		t.Error("snapshot after an acquire-join must be a fresh copy")
+	}
+	if before.Get(2) >= after.Get(2) {
+		t.Errorf("acquire edge lost: before=%v after=%v", before, after)
+	}
+	// Distinct threads memoize independently.
+	if e.Snapshot(2) == e.Snapshot(1) {
+		t.Error("snapshots of distinct threads must be distinct clocks")
+	}
+}

@@ -29,6 +29,10 @@ type Differ struct {
 	Eng *sched.Engine
 	// Shards is the per-run detector shard count (0/1 = single-threaded).
 	Shards int
+	// Overlap runs each vm and its detector concurrently through the
+	// segmented pipeline (detect.RunOpts.SegmentEvents). Scores are
+	// byte-identical either way.
+	Overlap bool
 	// SchedSeed drives the vm scheduler (default 1).
 	SchedSeed int64
 	// Window is the spin preset's basic-block window (default 7).
@@ -38,6 +42,10 @@ type Differ struct {
 	// OracleCheck additionally validates every generated program's
 	// declared ground truth against an oracle execution (CheckOracle).
 	OracleCheck bool
+	// Observe, when set, receives every preset run's report — the hook
+	// the harness stats plumbing (`tables -stats`) attaches. Called from
+	// concurrent jobs; the observer must be safe for that.
+	Observe func(*detect.Report)
 }
 
 func (d *Differ) engine() *sched.Engine {
@@ -152,9 +160,16 @@ func fragIndexOf(s string) (int, bool) {
 func (d *Differ) runPreset(rebuild func() *Workload, preset string) ([]FragOutcome, error) {
 	w := rebuild()
 	cfg := PresetConfigs(d.window())[preset]
-	rep, _, err := detect.RunSharded(w.Prog, cfg, d.schedSeed(), d.shards())
+	opts := detect.RunOpts{Shards: d.shards()}
+	if d.Overlap {
+		opts = opts.Overlapped()
+	}
+	rep, _, err := detect.RunOpt(w.Prog, cfg, d.schedSeed(), opts)
 	if err != nil {
 		return nil, fmt.Errorf("synth: %s on %s: %w", preset, w.Name, err)
+	}
+	if d.Observe != nil {
+		d.Observe(rep)
 	}
 	return scoreReport(w, preset, rep), nil
 }

@@ -113,13 +113,16 @@ func TestCorpusOracleAgreement(t *testing.T) {
 }
 
 // TestDifferDeterminism: the corpus report is byte-identical under the
-// sequential engine, a parallel engine, and a parallel engine with sharded
-// detectors.
+// sequential engine, a parallel engine, a parallel engine with sharded
+// detectors, and the overlapped vm→detector pipeline (alone and composed
+// with sharding).
 func TestDifferDeterminism(t *testing.T) {
 	variants := []*Differ{
 		{Eng: sched.Sequential()},
 		{Eng: sched.New(sched.Options{Workers: 4})},
 		{Eng: sched.New(sched.Options{Workers: 4}), Shards: 2},
+		{Eng: sched.Sequential(), Overlap: true},
+		{Eng: sched.New(sched.Options{Workers: 4}), Shards: 2, Overlap: true},
 	}
 	var base string
 	for i, d := range variants {

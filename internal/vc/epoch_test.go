@@ -1,0 +1,103 @@
+package vc
+
+import "testing"
+
+func TestEpochPacking(t *testing.T) {
+	cases := []struct {
+		tid  int
+		tick uint64
+	}{
+		{0, 1},
+		{1, 1},
+		{7, 123456},
+		{EpochMaxTid, 1},
+		{3, epochTickMask}, // largest representable tick
+	}
+	for _, c := range cases {
+		e := MakeEpoch(c.tid, c.tick)
+		if e.Tid() != c.tid || e.Tick() != c.tick {
+			t.Errorf("MakeEpoch(%d, %d) round-trips to (%d, %d)", c.tid, c.tick, e.Tid(), e.Tick())
+		}
+		if e.IsZero() {
+			t.Errorf("MakeEpoch(%d, %d) must not be the zero sentinel", c.tid, c.tick)
+		}
+	}
+	var zero Epoch
+	if !zero.IsZero() {
+		t.Error("zero Epoch must report IsZero")
+	}
+}
+
+func TestEpochOrderedBefore(t *testing.T) {
+	c := New()
+	c.Set(0, 5)
+	c.Set(2, 3)
+	cases := []struct {
+		e    Epoch
+		want bool
+	}{
+		{MakeEpoch(0, 5), true},  // equal component: ordered
+		{MakeEpoch(0, 6), false}, // ahead of the clock: concurrent
+		{MakeEpoch(2, 1), true},
+		{MakeEpoch(1, 1), false}, // component the clock has never seen
+		{MakeEpoch(9, 1), false}, // beyond the clock's length
+	}
+	for _, tc := range cases {
+		if got := tc.e.OrderedBefore(c); got != tc.want {
+			t.Errorf("epoch (%d,%d).OrderedBefore(%v) = %v, want %v",
+				tc.e.Tid(), tc.e.Tick(), c, got, tc.want)
+		}
+	}
+}
+
+// TestEpochAgreesWithClock cross-checks the epoch comparison against the
+// full vector-clock LessOrEqual it compresses: an access stamped (tid,
+// tick) is ordered before clock c exactly when a clock holding only that
+// component is.
+func TestEpochAgreesWithClock(t *testing.T) {
+	c := New()
+	c.Set(0, 4)
+	c.Set(1, 9)
+	for tid := 0; tid < 3; tid++ {
+		for tick := uint64(1); tick < 12; tick++ {
+			single := New()
+			single.Set(tid, tick)
+			want := single.LessOrEqual(c)
+			if got := MakeEpoch(tid, tick).OrderedBefore(c); got != want {
+				t.Errorf("epoch (%d,%d) vs %v: epoch says %v, clock says %v",
+					tid, tick, c, got, want)
+			}
+		}
+	}
+}
+
+func TestClockVersion(t *testing.T) {
+	c := New()
+	v0 := c.Version()
+	c.Tick(1)
+	if c.Version() == v0 {
+		t.Error("Tick must change the version")
+	}
+	v1 := c.Version()
+	c.Set(1, c.Get(1)) // no-op set
+	if c.Version() != v1 {
+		t.Error("no-op Set must not change the version")
+	}
+	c.Set(3, 7)
+	if c.Version() == v1 {
+		t.Error("value-changing Set must change the version")
+	}
+	v2 := c.Version()
+
+	other := New()
+	other.Set(3, 5) // already dominated
+	c.Join(other)
+	if c.Version() != v2 {
+		t.Error("no-op Join must not change the version")
+	}
+	other.Set(5, 2)
+	c.Join(other)
+	if c.Version() == v2 {
+		t.Error("value-changing Join must change the version")
+	}
+}

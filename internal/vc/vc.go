@@ -12,7 +12,16 @@ import (
 // i has performed. The zero value is the bottom clock (all zeros).
 type Clock struct {
 	ticks []uint64
+	// ver counts value mutations, so derived data (the happens-before
+	// engine's memoized snapshots) can be cached per version instead of
+	// rebuilt per read. Joins that change nothing leave it alone.
+	ver uint64
 }
+
+// Version identifies the clock's current value: it changes whenever the
+// clock's components do, and only then. Two reads of the same clock with
+// equal versions observed the same value.
+func (c *Clock) Version() uint64 { return c.ver }
 
 // New returns an empty clock.
 func New() *Clock { return &Clock{} }
@@ -35,13 +44,17 @@ func (c *Clock) Get(i int) uint64 {
 // Set sets the component for thread i.
 func (c *Clock) Set(i int, v uint64) {
 	c.grow(i)
-	c.ticks[i] = v
+	if c.ticks[i] != v {
+		c.ticks[i] = v
+		c.ver++
+	}
 }
 
 // Tick increments the component for thread i and returns the new value.
 func (c *Clock) Tick(i int) uint64 {
 	c.grow(i)
 	c.ticks[i]++
+	c.ver++
 	return c.ticks[i]
 }
 
@@ -51,10 +64,15 @@ func (c *Clock) Join(other *Clock) {
 		return
 	}
 	c.grow(len(other.ticks) - 1)
+	changed := false
 	for i, v := range other.ticks {
 		if v > c.ticks[i] {
 			c.ticks[i] = v
+			changed = true
 		}
+	}
+	if changed {
+		c.ver++
 	}
 }
 

@@ -36,6 +36,14 @@ type Options struct {
 	Instr *spin.Instrumentation
 	// Sink receives the event stream; nil discards it.
 	Sink event.Sink
+	// SegmentEvents > 0 overlaps execution and detection: instead of
+	// calling the sink synchronously per event, the vm emits into
+	// double-buffered segments of this many events handed to a consumer
+	// goroutine driving the sink (event.Segmented), so the vm executes the
+	// next segment while the previous one is detected. The sink observes
+	// the identical serial stream either way; reports are byte-identical.
+	// Negative values use event.DefaultSegmentEvents.
+	SegmentEvents int
 }
 
 const (
@@ -110,7 +118,10 @@ type VM struct {
 	rng      uint64
 	steps    int64
 	sink     event.Sink
-	ev       event.Event // scratch, reused across emissions
+	// seg is the overlap pipeline when Options.SegmentEvents enables it;
+	// sink then points at it and Run owns its shutdown.
+	seg *event.Segmented
+	ev  event.Event // scratch, reused across emissions
 }
 
 // New prepares a run of the program.
@@ -133,16 +144,38 @@ func New(p *ir.Program, opts Options) *VM {
 		rng:  seed,
 		sink: opts.Sink,
 	}
+	if opts.SegmentEvents != 0 && opts.Sink != nil {
+		size := opts.SegmentEvents
+		if size < 0 {
+			size = event.DefaultSegmentEvents
+		}
+		v.seg = event.NewSegmented(opts.Sink, size)
+		v.sink = v.seg
+	}
 	return v
 }
 
 // Run executes the program's "main" function to completion of all threads.
 // If the sink buffers events (event.Flusher — the sharded detector does),
 // it is flushed before Run returns, so callers never observe a result with
-// detection still in flight.
+// detection still in flight. When the run is overlapped
+// (Options.SegmentEvents), the segment pipeline is drained and shut down
+// here — including on error returns, so the detector always observes the
+// exact emitted prefix.
 func (v *VM) Run() (Result, error) {
+	if v.seg != nil {
+		// Deferred so the consumer goroutine is torn down on every exit —
+		// including a detector panic re-raised out of the emit path —
+		// before the caller's own deferred detector Close runs. The
+		// explicit Close below handles the normal path (Close is
+		// idempotent); Segmented.Close completes its shutdown even when
+		// the final drain re-raises a downstream panic.
+		defer v.seg.Close()
+	}
 	res, err := v.run()
-	if f, ok := v.sink.(event.Flusher); ok {
+	if v.seg != nil {
+		v.seg.Close() // drains, then flushes the downstream sink
+	} else if f, ok := v.sink.(event.Flusher); ok {
 		f.Flush()
 	}
 	return res, err

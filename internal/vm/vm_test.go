@@ -455,3 +455,52 @@ func TestShiftMasking(t *testing.T) {
 		t.Errorf("1 << 65 = %d, want 2 (masked)", res.Memory(0))
 	}
 }
+
+// TestSegmentedRunIdenticalStream runs the same program+seed with the
+// synchronous sink and with the overlapped segment pipeline (several
+// segment sizes, including ones smaller than the stream and the default)
+// and asserts the sink observes the identical event sequence.
+func TestSegmentedRunIdenticalStream(t *testing.T) {
+	build := func() *ir.Program {
+		b := ir.NewBuilder("t")
+		cell := b.Global("CELL")
+		other := b.Global("OTHER")
+		w := b.Func("worker", 1)
+		for i := 0; i < 8; i++ {
+			v := w.Const(int64(i))
+			w.StoreAddr(cell, v)
+			w.StoreAddr(other, v)
+			w.LoadAddr(cell)
+		}
+		w.Ret(ir.NoReg)
+		m := b.Func("main", 0)
+		arg := m.Const(0)
+		t1 := m.Spawn("worker", arg)
+		t2 := m.Spawn("worker", arg)
+		m.Join(t1)
+		m.Join(t2)
+		m.Ret(ir.NoReg)
+		return b.MustBuild()
+	}
+	record := func(segment int) []event.Event {
+		var got []event.Event
+		sink := event.SinkFunc(func(ev *event.Event) { got = append(got, *ev) })
+		mustRun(t, build(), Options{Seed: 3, Sink: sink, SegmentEvents: segment})
+		return got
+	}
+	want := record(0) // synchronous
+	if len(want) == 0 {
+		t.Fatal("program emitted no events")
+	}
+	for _, segment := range []int{1, 5, 64, -1} {
+		got := record(segment)
+		if len(got) != len(want) {
+			t.Fatalf("segment %d: %d events, want %d", segment, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("segment %d: event %d differs: %+v vs %+v", segment, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+#!/bin/sh
+# bench-compare.sh — diff two BENCH_*.json perf records.
+#
+# Usage: bench-compare.sh [old.json new.json]
+#
+# Without arguments, compares the two most recent BENCH_*.json records in
+# the repo root (the files scripts/bench-save.sh writes; their date-stamped
+# names sort chronologically). Prints, per benchmark present in both
+# records, ns/op, B/op, and allocs/op with the relative change. Records
+# written before `make bench` passed -benchmem carry no allocation
+# columns; those cells print as "-".
+set -eu
+
+if [ $# -ge 2 ]; then
+	old="$1"
+	new="$2"
+else
+	# shellcheck disable=SC2046  # word-splitting the ls output is the point
+	set -- $(ls BENCH_*.json 2>/dev/null | sort | tail -2)
+	if [ $# -lt 2 ]; then
+		echo "bench-compare: need two BENCH_*.json records (have $#); run 'make bench' to record one" >&2
+		exit 2
+	fi
+	old="$1"
+	new="$2"
+fi
+
+# extract recovers "name ns_per_op B_per_op allocs_per_op" lines from a
+# `go test -json` stream (missing memory columns become "-").
+extract() {
+	grep -o '"Output":"[^"]*"' "$1" \
+		| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
+		| sed 's/\\n/\n/g; s/\\t/\t/g' \
+		| grep -E '^Benchmark' | grep 'ns/op' \
+		| awk '{
+			name = $1; ns = "-"; bop = "-"; allocs = "-"
+			for (i = 2; i <= NF; i++) {
+				if ($i == "ns/op") ns = $(i-1)
+				if ($i == "B/op") bop = $(i-1)
+				if ($i == "allocs/op") allocs = $(i-1)
+			}
+			print name, ns, bop, allocs
+		}'
+}
+
+extract "$old" > /tmp/bench-compare-old.$$
+extract "$new" > /tmp/bench-compare-new.$$
+trap 'rm -f /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$' EXIT
+
+echo "bench-compare: $old -> $new"
+awk '
+function delta(o, n) {
+	if (o == "-" || n == "-" || o + 0 == 0) return "      -"
+	return sprintf("%+6.1f%%", (n - o) * 100.0 / o)
+}
+NR == FNR { ns[$1] = $2; bop[$1] = $3; al[$1] = $4; next }
+{
+	if (!($1 in ns)) { printf "%-40s (new benchmark, no baseline)\n", $1; next }
+	printf "%-40s ns/op %12s -> %12s %s   allocs/op %9s -> %9s %s\n",
+		$1, ns[$1], $2, delta(ns[$1], $2), al[$1], $4, delta(al[$1], $4)
+	seen[$1] = 1
+}
+END { for (b in ns) if (!(b in seen)) printf "%-40s (dropped: present only in baseline)\n", b }
+' /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$
+
+cat <<'EOF'
+note: single-CPU runners (this repo's CI) time the sharded (-shards) and
+overlapped (-overlap) pipelines as pure coordination overhead — their ns/op
+here is the worst case. On a multicore runner the same knobs convert that
+overhead into parallel speedup; allocs/op is the machine-independent signal
+in these records.
+EOF

@@ -14,8 +14,16 @@
 # Usage: [GO=go1.x] bench-save.sh [bench-regexp]  (default BenchmarkTable1)
 set -eu
 bench="${1:-BenchmarkTable1}"
-out="BENCH_$(date +%Y-%m-%d).json"
-"${GO:-go}" test -run '^$' -bench "$bench" -benchtime 1x -json . > "$out"
+# One record per run: same-day reruns get a letter suffix instead of
+# clobbering the day's earlier record (suffixes sort after the plain name,
+# so `ls | sort` stays chronological for bench-compare.sh).
+date="$(date +%Y-%m-%d)"
+out="BENCH_${date}.json"
+for s in b c d e f g h i j k; do
+	[ -e "$out" ] || break
+	out="BENCH_${date}${s}.json"
+done
+"${GO:-go}" test -run '^$' -bench "$bench" -benchtime 1x -benchmem -json . > "$out"
 grep -o '"Output":"[^"]*"' "$out" \
 	| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
 	| sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)' || true
