@@ -51,8 +51,10 @@ doc-check:
 	sh scripts/check-docs.sh
 
 # Everything CI runs, in CI's order. (The workflow additionally runs the
-# shard determinism tests as a named step before the race suite, purely
-# so a determinism break fails with its own label; `race` covers them.)
+# shard determinism tests and the representation equivalence suite — the
+# epoch-read and clock-store references, under -race — as named steps
+# before the race suite, purely so those breaks fail with their own
+# labels; `race` covers them.)
 ci: fmt-check vet doc-check build race bench fuzz-smoke
 
 # Regenerate the paper's tables and figures.

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-shards N] [-v]
+//	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-shards N] [-overlap] [-overlap-adaptive] [-v]
 //
 // Workloads: any PARSEC model name (x264, dedup, ...), a data-race-test
 // case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...), or a
@@ -18,12 +18,15 @@
 // With -shards N each detector run partitions its shadow state across N
 // shard workers (intra-run parallelism). With -overlap the vm emits the
 // event stream into double-buffered trace segments consumed by the
-// detector concurrently with execution. Reports are byte-identical under
-// every combination of the two knobs; only wall-clock time changes.
+// detector concurrently with execution; -overlap-adaptive sizes those
+// segments from observed pipeline stalls. Reports are byte-identical
+// under every combination of the knobs; only wall-clock time changes.
 //
 // With -stats the run's pipeline counters are printed: events processed,
-// events/sec, shadow bytes, and read-set promotions/demotions (how often
-// the FastTrack epoch fast path had to fall back to a read-set).
+// events/sec, shadow bytes, read-set promotions/demotions (how often the
+// FastTrack epoch fast path had to fall back to a read-set), and the
+// clock store's sync epoch hits / rebases / inflates (how often
+// release/acquire stayed on the O(1) object-epoch path).
 package main
 
 import (
@@ -47,6 +50,7 @@ func main() {
 	seeds := flag.Int("seeds", 0, "run seeds 1..N in parallel and report per-seed contexts")
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
+	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
 	stats := flag.Bool("stats", false, "print pipeline stats: events, events/sec, shadow bytes, read-set promotions")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
@@ -82,8 +86,12 @@ func main() {
 	}
 
 	opts := detect.RunOpts{Shards: *shards}
+	if *adaptive {
+		*overlap = true // adaptive sizing is a property of the overlap pipeline
+	}
 	if *overlap {
 		opts = opts.Overlapped()
+		opts.AdaptiveSegments = *adaptive
 	}
 
 	if *seeds > 0 {
@@ -113,6 +121,10 @@ func main() {
 	fmt.Printf("  warnings: %d, racy contexts: %d\n", len(rep.Warnings), rep.RacyContexts())
 	if *stats {
 		printStats([]*detect.Report{rep}, elapsed)
+		if *overlap {
+			fmt.Printf("stats: segment sizing: %d stalls, %d grows, %d shrinks, final size %d\n",
+				res.SegmentStalls, res.SegmentGrows, res.SegmentShrinks, res.SegmentSize)
+		}
 	}
 	if *verbose {
 		for _, w := range rep.Warnings {

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	tables [-t all|1|2|3|4|5|6|perf|synth] [-workers N] [-seq] [-shards N]
-//	       [-overlap] [-stats] [-synth-n 100]
+//	       [-overlap] [-overlap-adaptive] [-stats] [-synth-n 100]
 //
 //	1     data-race-test accuracy, four tools (slide 24)
 //	2     spin-window sweep spin(3)/spin(6)/spin(7)/spin(8) (slide 25)
@@ -22,13 +22,16 @@
 // strictly sequential escape hatch; -shards N additionally partitions
 // each detector run's shadow state across N shard workers (intra-run
 // parallelism, for big single runs); -overlap runs each vm and its
-// detector concurrently through double-buffered trace segments. Output is
-// byte-identical under every combination of the four knobs.
+// detector concurrently through double-buffered trace segments, and
+// -overlap-adaptive additionally sizes those segments from observed
+// pipeline stalls. Output is byte-identical under every combination of
+// the five knobs.
 //
 // -stats appends a footer with the detector pipeline counters aggregated
-// over every run: events processed, events/sec, shadow bytes, and
-// read-set promotions (how often the FastTrack epoch fast path promoted
-// to a read-set).
+// over every run: events processed, events/sec, shadow bytes, read-set
+// promotions (how often the FastTrack epoch fast path promoted to a
+// read-set), and the clock store's sync epoch hits / rebases / inflates
+// (how often release/acquire stayed on the O(1) epoch path).
 package main
 
 import (
@@ -47,6 +50,7 @@ func main() {
 	seq := flag.Bool("seq", false, "run every detector job sequentially, in order")
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
+	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
 	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the tables")
 	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
 	flag.Parse()
@@ -59,7 +63,7 @@ func main() {
 	}
 
 	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq}).
-		WithShards(*shards).WithOverlap(*overlap)
+		WithShards(*shards).WithOverlap(*overlap).WithAdaptiveOverlap(*adaptive)
 	var runStats *harness.RunStats
 	if *stats {
 		runStats = &harness.RunStats{}

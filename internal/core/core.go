@@ -34,6 +34,36 @@ import (
 	"adhocrace/internal/vc"
 )
 
+// releaseState is the accumulated release history of one condition
+// location. A plain write replaces the history with the writer's frozen
+// snapshot — no copy, the handle is the happens-before engine's interned
+// view. A read-modify-write extends the history (a release sequence);
+// the first extension thaws the frozen handle into owned, an accumulator
+// this engine exclusively owns and joins in place from then on — the seed
+// implementation paid one clock copy per RMW in the chain (every CAS lock
+// acquisition, every barrier fetch-add), this pays one per chain.
+type releaseState struct {
+	frozen vc.Frozen
+	owned  *vc.Clock
+}
+
+// joinInto imports the history into a thread clock.
+func (r *releaseState) joinInto(c *vc.Clock) {
+	if r.owned != nil {
+		c.Join(r.owned)
+	} else {
+		c.JoinFrozen(r.frozen)
+	}
+}
+
+// bytes charges the history under the seed cost model.
+func (r *releaseState) bytes() int64 {
+	if r.owned != nil {
+		return r.owned.Bytes()
+	}
+	return r.frozen.Bytes()
+}
+
 // Engine is the runtime ad-hoc synchronization detector for one execution.
 //
 // All mutating entry points (OnWrite, OnSpinRead, OnSpinExit) must be
@@ -41,7 +71,7 @@ import (
 // method shard workers call concurrently; mu covers exactly that reader
 // against OnSpinRead's classification updates.
 type Engine struct {
-	hb  *hb.Engine
+	hb  hb.Engine
 	ins *spin.Instrumentation
 
 	// mu guards syncAddrs and lockWords between IsSyncVar (read from
@@ -66,8 +96,8 @@ type Engine struct {
 	lockWords map[int64]bool
 	// lockSyms holds the static condition symbols of RMW loops.
 	lockSyms map[string]bool
-	// release holds the accumulated release clock per condition location.
-	release map[int64]*vc.Clock
+	// release holds the accumulated release history per condition location.
+	release map[int64]*releaseState
 	// lastRead tracks, per thread and loop, the last condition address the
 	// thread observed, so the exit edge knows its counterpart location.
 	lastRead map[event.Tid]map[int]int64
@@ -88,18 +118,18 @@ type Engine struct {
 // in force from the very first access — even when the first contention
 // precedes the first spin-read mark (fast-path arrivals at barriers, once
 // guards, trylocks).
-func New(h *hb.Engine, ins *spin.Instrumentation, prog *ir.Program) *Engine {
-	e := &Engine{
-		hb:        h,
-		ins:       ins,
-		condSyms:  make(map[string]bool),
-		syncAddrs: make(map[int64]bool),
-		lockWords: make(map[int64]bool),
-		lockSyms:  make(map[string]bool),
-		release:   make(map[int64]*vc.Clock),
-		lastRead:  make(map[event.Tid]map[int]int64),
-	}
+func New(h hb.Engine, ins *spin.Instrumentation, prog *ir.Program) *Engine {
+	e := &Engine{hb: h, ins: ins}
 	if ins != nil {
+		// The classification and history maps exist only when the spin
+		// feature can populate them; the lib/DRD configurations (ins == nil)
+		// never touch them, so they skip the six map allocations per run.
+		e.condSyms = make(map[string]bool)
+		e.syncAddrs = make(map[int64]bool)
+		e.lockWords = make(map[int64]bool)
+		e.lockSyms = make(map[string]bool)
+		e.release = make(map[int64]*releaseState)
+		e.lastRead = make(map[event.Tid]map[int]int64)
 		for _, s := range ins.CondSyms() {
 			e.condSyms[s] = true
 		}
@@ -187,18 +217,28 @@ func (e *Engine) OnWrite(ev *event.Event) {
 		// successful RMW on a lock word is an acquire even when it
 		// happened on a fast path outside the spin loop — import the
 		// word's release history into the acquiring thread.
-		e.hb.ClockOf(ev.Tid).Join(cur)
+		cur.joinInto(e.hb.ClockOf(ev.Tid))
 		e.Edges++
 	}
 	snap := e.hb.Snapshot(ev.Tid)
 	if ev.RMW && cur != nil {
-		// Release sequence: the RMW extends the history. The snapshot is
-		// the engine's shared memoized copy, so take a private one before
-		// joining into it.
-		snap = snap.Copy()
-		snap.Join(cur)
+		// Release sequence: the RMW extends the history in place. The
+		// accumulator is exclusively this engine's (readers join out of it
+		// synchronously and retain nothing), so no copy is needed — only
+		// the first extension materializes the frozen handle.
+		if cur.owned == nil {
+			cur.owned = cur.frozen.Thaw()
+			cur.frozen = vc.Frozen{}
+		}
+		cur.owned.JoinFrozen(snap)
+	} else if cur != nil {
+		// A plain write (or the first write) replaces the history with the
+		// writer's snapshot handle — the seed copied here.
+		cur.frozen = snap
+		cur.owned = nil
+	} else {
+		e.release[ev.Addr] = &releaseState{frozen: snap}
 	}
-	e.release[ev.Addr] = snap
 	// A write is also a release point for the writer.
 	e.hb.ClockOf(ev.Tid).Tick(int(ev.Tid))
 }
@@ -239,7 +279,7 @@ func (e *Engine) OnSpinExit(ev *event.Event) {
 		return
 	}
 	if rel := e.release[addr]; rel != nil {
-		e.hb.ClockOf(ev.Tid).Join(rel)
+		rel.joinInto(e.hb.ClockOf(ev.Tid))
 		e.Edges++
 	}
 }
@@ -251,8 +291,8 @@ func (e *Engine) Bytes() int64 {
 		n += int64(len(s)) + 16
 	}
 	n += int64(len(e.syncAddrs)) * 16
-	for _, c := range e.release {
-		n += c.Bytes() + 16
+	for _, r := range e.release {
+		n += r.bytes() + 16
 	}
 	for _, m := range e.lastRead {
 		n += int64(len(m))*24 + 16

@@ -7,7 +7,12 @@ import (
 	"adhocrace/internal/hb"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/spin"
+	"adhocrace/internal/vc"
 )
+
+// orderedBelow reports whether a frozen snapshot happens-before-or-equals a
+// live clock's current value.
+func orderedBelow(f vc.Frozen, c *vc.Clock) bool { return f.LessOrEqual(c.Freeze()) }
 
 // buildFlagProgram builds a spin-wait program and returns it with its
 // instrumentation.
@@ -82,7 +87,7 @@ func TestEdgeInjection(t *testing.T) {
 	if e.Edges != 1 {
 		t.Fatalf("edges = %d, want 1", e.Edges)
 	}
-	if !writerSnap.LessOrEqual(h.ClockOf(2)) {
+	if !orderedBelow(writerSnap, h.ClockOf(2)) {
 		t.Error("spinner must be ordered after the counterpart write")
 	}
 }
@@ -115,7 +120,7 @@ func TestRMWReleaseSequenceAccumulates(t *testing.T) {
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
 	c2 := h.ClockOf(2)
-	if !snap1.LessOrEqual(c2) || !snap3.LessOrEqual(c2) {
+	if !orderedBelow(snap1, c2) || !orderedBelow(snap3, c2) {
 		t.Error("RMW chain must accumulate all writers' clocks")
 	}
 }
@@ -133,7 +138,7 @@ func TestPlainWriteReplacesHistory(t *testing.T) {
 
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
-	if snap1.LessOrEqual(h.ClockOf(2)) {
+	if orderedBelow(snap1, h.ClockOf(2)) {
 		t.Error("plain overwrite must not leak the previous writer's clock")
 	}
 }
@@ -149,7 +154,7 @@ func TestAtomicWriteAlwaysSnapshots(t *testing.T) {
 	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, Tid: 1, Addr: 4096, Sym: ""})
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 4096, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
-	if !snap.LessOrEqual(h.ClockOf(2)) {
+	if !orderedBelow(snap, h.ClockOf(2)) {
 		t.Error("fast-path waiter missed the atomic counterpart write")
 	}
 }

@@ -99,6 +99,11 @@ type Config struct {
 	// corpora against. Test-only, reachable through an export_test hook;
 	// never set by the presets.
 	fullVCReads bool
+	// fullVCSync switches the happens-before engine from the
+	// epoch-compressed clock store to the seed full-vector-clock reference
+	// (hb.NewReference) — the sync-side counterpart of fullVCReads, used
+	// by the TestSyncStoreEquivalence tests. Test-only.
+	fullVCSync bool
 }
 
 // drdHistoryWindow is the event-distance budget modeling DRD's segment

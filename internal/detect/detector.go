@@ -92,6 +92,14 @@ type Report struct {
 	// ReadSetDemotions counts read-sets collapsed back to the epoch
 	// representation by a write ordered after every recorded read.
 	ReadSetDemotions int64
+	// SyncEpochHits counts O(1) sync-object fast paths of the clock store
+	// (same-owner re-releases, covered acquires); SyncRebases and
+	// SyncInflates count its fallbacks (hb.Stats). Like the read-set
+	// counters these are representation metrics: deterministic per
+	// (program, tool, seed), zero under the full-VC reference engine.
+	SyncEpochHits int64
+	SyncRebases   int64
+	SyncInflates  int64
 }
 
 // distinctContexts deduplicates the warnings' source locations and sorts
@@ -170,7 +178,7 @@ type shadowWord struct {
 type Detector struct {
 	cfg Config
 
-	hb    *hb.Engine
+	hb    hb.Engine
 	adhoc *core.Engine
 	// locks carries the held-lock half of the lockset state; the
 	// per-variable half lives in the shards.
@@ -208,6 +216,9 @@ func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards 
 		shards = 1
 	}
 	h := hb.New()
+	if cfg.fullVCSync {
+		h = hb.NewReference()
+	}
 	adhoc := core.New(h, ins, prog)
 	adhoc.InferLocks = cfg.InferLocks
 	d := &Detector{
@@ -238,36 +249,38 @@ func (d *Detector) shardOf(addr int64) int {
 	return int(uint64(line) % uint64(len(d.shards)))
 }
 
-// flushTag waits for queued accesses that depend on the given thread tags
-// before the caller mutates coordinator state those accesses read.
-func (d *Detector) flushTag(tag uint64) {
-	if d.demux != nil {
-		d.demux.FlushTag(tag)
-	}
-}
-
 // Handle implements event.Sink.
+//
+// Clock- and lockset-mutating events need no shard flush: every queued
+// access carries immutable stamps of the coordinator state it reads (a
+// frozen clock view, a held-lock snapshot), so mutating the live state
+// cannot disturb in-flight work. The only remaining barriers are
+// shadow-order ones: a spin-read mark reclassifies its address (flush the
+// owning shard before queued accesses to it would report differently),
+// and a release-relevant write must interleave with its address's queued
+// accesses in stream order (onAccess).
 func (d *Detector) Handle(ev *event.Event) {
 	d.events++
 	switch ev.Kind {
 	case event.KindRead, event.KindWrite, event.KindAtomicRead, event.KindAtomicWrite:
 		d.onAccess(ev)
 	case event.KindSyncPre:
+		if ev.Sync == ir.SyncDestroy {
+			// Destruction is resource management, not ordering: drop the
+			// object's clock state regardless of the tool's sync support.
+			d.hb.ForgetObject(ev.Addr)
+			return
+		}
 		if d.cfg.supportsSync(ev.Sync) {
-			d.flushTag(event.TidTag(ev.Tid))
 			d.onSyncPre(ev)
 		}
 	case event.KindSyncPost:
-		if d.cfg.supportsSync(ev.Sync) {
-			d.flushTag(event.TidTag(ev.Tid))
+		if ev.Sync != ir.SyncDestroy && d.cfg.supportsSync(ev.Sync) {
 			d.onSyncPost(ev)
 		}
 	case event.KindSpawn:
-		d.flushTag(event.TidTag(ev.Tid) | event.TidTag(ev.Child))
 		d.hb.Spawn(ev.Tid, ev.Child)
 	case event.KindJoin:
-		// Join mutates only the parent's clock; the child's is read.
-		d.flushTag(event.TidTag(ev.Tid))
 		d.hb.Join(ev.Tid, ev.Child)
 	case event.KindSpinRead:
 		// The mark reclassifies its address as a sync variable, which
@@ -277,8 +290,6 @@ func (d *Detector) Handle(ev *event.Event) {
 		}
 		d.adhoc.OnSpinRead(ev)
 	case event.KindSpinExit:
-		// The injected edge joins into the exiting thread's clock.
-		d.flushTag(event.TidTag(ev.Tid))
 		d.adhoc.OnSpinExit(ev)
 	case event.KindThreadStart, event.KindThreadExit:
 		// Thread clocks are created on demand; nothing to do.
@@ -297,14 +308,12 @@ func (d *Detector) onAccess(ev *event.Event) {
 	shard := d.shardOf(ev.Addr)
 	inline := d.demux == nil
 	if !inline && isWrite && d.adhoc.WriteActs(ev) {
-		// A release-relevant write: OnWrite ticks the writer's clock and
-		// snapshots it into the address's release history, so it must run
-		// on the coordinator — after the writer's queued accesses (they
-		// read the clock being ticked) and the address's queued accesses
-		// (shadow order), with the access itself processed inline between
-		// shadow update and release snapshot, exactly like the sequential
-		// path.
-		d.flushTag(event.TidTag(ev.Tid))
+		// A release-relevant write: OnWrite snapshots the writer's clock
+		// into the address's release history, so the access itself must be
+		// processed inline between shadow update and release snapshot,
+		// after the address's queued accesses (shadow order) — exactly
+		// like the sequential path. The writer's *other* queued accesses
+		// need no flush: their stamps are frozen.
 		d.demux.FlushShard(shard)
 		inline = true
 	}
@@ -314,8 +323,10 @@ func (d *Detector) onAccess(ev *event.Event) {
 	if inline {
 		e = &local
 	} else {
-		// Filled in place inside the pending batch — no copy.
-		e = d.demux.Slot(shard, event.TidTag(ev.Tid))
+		// Filled in place inside the pending batch — no copy. Entries
+		// carry immutable stamps, so nothing the coordinator later mutates
+		// needs to wait for them.
+		e = d.demux.Slot(shard)
 	}
 	e.kind = ev.Kind
 	e.tid = ev.Tid
@@ -323,7 +334,7 @@ func (d *Detector) onAccess(ev *event.Event) {
 	e.sym = ev.Sym
 	e.loc = ev.Loc
 	e.idx = d.events
-	e.clock = d.hb.ClockOf(ev.Tid)
+	e.clock = d.hb.Snapshot(ev.Tid)
 	if d.cfg.Tool != DRDTool {
 		e.held = d.locks.HeldSnapshot(ev.Tid)
 	}
@@ -417,6 +428,10 @@ func (d *Detector) Report() *Report {
 		rep.ReadSetPromotions += s.promotions
 		rep.ReadSetDemotions += s.demotions
 	}
+	hs := d.hb.Stats()
+	rep.SyncEpochHits = hs.EpochHits
+	rep.SyncRebases = hs.Rebases
+	rep.SyncInflates = hs.Inflates
 	return rep
 }
 

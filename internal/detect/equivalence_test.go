@@ -82,3 +82,72 @@ func TestEpochFullVCEquivalenceSynth(t *testing.T) {
 		}
 	}
 }
+
+// syncSweepOpts are the pipeline shapes the clock-store equivalence sweep
+// rotates through: the byte-identical bar must hold not just sequentially
+// but under sharding (which moves the frozen clock stamps across the flush
+// boundary) and overlap (which moves them across goroutines).
+func syncSweepOpts() []detect.RunOpts {
+	return []detect.RunOpts{
+		{},
+		{Shards: 2},
+		{Shards: 4},
+		detect.RunOpts{}.Overlapped(),
+		{Shards: 2, SegmentEvents: 64},
+	}
+}
+
+// checkSyncEquivalence runs one (program, config, seed) under the clock
+// store and the full-VC reference engine with the same pipeline shape and
+// asserts byte-identical reports.
+func checkSyncEquivalence(t *testing.T, build func() *ir.Program, name string, cfg detect.Config, seed int64, opts detect.RunOpts) {
+	t.Helper()
+	store, _, err := detect.RunOpt(build(), cfg, seed, opts)
+	if err != nil {
+		t.Fatalf("%s under %s seed %d (store): %v", name, cfg.Name, seed, err)
+	}
+	ref, _, err := detect.RunOpt(build(), detect.FullVCSync(cfg), seed, opts)
+	if err != nil {
+		t.Fatalf("%s under %s seed %d (full-VC sync): %v", name, cfg.Name, seed, err)
+	}
+	want, got := reportFingerprint(ref), reportFingerprint(store)
+	if got != want {
+		t.Errorf("%s under %s seed %d (shards=%d overlap=%d): clock-store report differs from full-VC reference\n--- full VC ---\n%s--- store ---\n%s",
+			name, cfg.Name, seed, opts.Shards, opts.SegmentEvents, want, got)
+	}
+}
+
+// TestSyncStoreEquivalenceSuite replays the full data-race-test suite
+// under the four paper tools plus the lock-inference variant against the
+// full-vector-clock happens-before engine, rotating through the pipeline
+// sweep per (case, tool) so the whole grid is covered across the suite.
+func TestSyncStoreEquivalenceSuite(t *testing.T) {
+	cfgs := append(detect.PaperTools(7), detect.HelgrindPlusNolibSpinLocks(7))
+	sweep := syncSweepOpts()
+	i := 0
+	for _, c := range dataracetest.Suite() {
+		for _, cfg := range cfgs {
+			checkSyncEquivalence(t, c.Build, c.Name, cfg, 1, sweep[i%len(sweep)])
+			i++
+		}
+	}
+}
+
+// TestSyncStoreEquivalenceSynth replays the synthesis corpus (500 seeds,
+// 80 under -short) against the full-VC sync reference, rotating the
+// shards × overlap sweep per seed.
+func TestSyncStoreEquivalenceSynth(t *testing.T) {
+	seeds := int64(500)
+	if testing.Short() {
+		seeds = 80
+	}
+	cfgs := []detect.Config{detect.HelgrindPlusLibSpin(7), detect.DRD()}
+	sweep := syncSweepOpts()
+	for seed := int64(1); seed <= seeds; seed++ {
+		w := synth.Generate(seed, synth.Options{})
+		opts := sweep[int(seed)%len(sweep)]
+		for _, cfg := range cfgs {
+			checkSyncEquivalence(t, func() *ir.Program { return w.Prog }, w.Name, cfg, 1, opts)
+		}
+	}
+}

@@ -15,3 +15,11 @@ func FullVCReads(cfg Config) Config {
 	cfg.fullVCReads = true
 	return cfg
 }
+
+// FullVCSync returns the configuration with the seed full-vector-clock
+// happens-before engine enabled — the reference side of the clock-store
+// equivalence tests.
+func FullVCSync(cfg Config) Config {
+	cfg.fullVCSync = true
+	return cfg
+}

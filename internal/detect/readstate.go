@@ -74,7 +74,7 @@ type readState struct {
 // so the byte-identical equivalence bar rules it out. Promotion keeps
 // both; demotion (where the configuration licenses it) is what collapses
 // the set back to nothing on the next ordering write.
-func (rs *readState) record(s *shardState, tid event.Tid, c *vc.Clock, idx int64) {
+func (rs *readState) record(s *shardState, tid event.Tid, c vc.Frozen, idx int64) {
 	tick := c.Get(int(tid))
 	if rs.set != nil {
 		rs.set.update(tid, tick, idx)
@@ -98,7 +98,7 @@ func (rs *readState) record(s *shardState, tid event.Tid, c *vc.Clock, idx int64
 // conflict returns the first recorded read, in thread-id order, that is
 // unordered with an access by tid under clock c — mirroring the seed
 // implementation's ascending clock scan — or (-1, -1).
-func (rs *readState) conflict(tid event.Tid, c *vc.Clock) (event.Tid, int64) {
+func (rs *readState) conflict(tid event.Tid, c vc.Frozen) (event.Tid, int64) {
 	if rs.set != nil {
 		for i := range rs.set.e {
 			r := &rs.set.e[i]
@@ -119,7 +119,7 @@ func (rs *readState) conflict(tid event.Tid, c *vc.Clock) (event.Tid, int64) {
 // orderedBefore reports whether every recorded read happens-before an
 // access under clock c — the demotion predicate. A state with no reads is
 // trivially ordered.
-func (rs *readState) orderedBefore(c *vc.Clock) bool {
+func (rs *readState) orderedBefore(c vc.Frozen) bool {
 	if rs.set != nil {
 		for i := range rs.set.e {
 			r := &rs.set.e[i]
@@ -129,7 +129,7 @@ func (rs *readState) orderedBefore(c *vc.Clock) bool {
 		}
 		return true
 	}
-	return rs.last.IsZero() || rs.last.OrderedBefore(c)
+	return rs.last.IsZero() || rs.last.OrderedBeforeFrozen(c)
 }
 
 // empty reports whether any read is recorded at all.

@@ -75,7 +75,7 @@ func (s *shardState) accessRef(e *entry, w *shadowWord, isWrite, isAtomic bool, 
 
 // refConflict is the seed conflict scan: the first thread in ascending id
 // order whose recorded read is unordered with the current access.
-func refConflict(rc *vc.Clock, r *refWord, tid event.Tid, clock *vc.Clock) (event.Tid, int64) {
+func refConflict(rc *vc.Clock, r *refWord, tid event.Tid, clock vc.Frozen) (event.Tid, int64) {
 	if rc == nil {
 		return -1, -1
 	}

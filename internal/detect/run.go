@@ -20,6 +20,10 @@ type RunOpts struct {
 	// double-buffered trace segments of this many events
 	// (vm.Options.SegmentEvents); negative uses event.DefaultSegmentEvents.
 	SegmentEvents int
+	// AdaptiveSegments grows/shrinks the overlap segment size from
+	// observed pipeline stalls (vm.Options.AdaptiveSegments); reports are
+	// byte-identical under every sizing policy.
+	AdaptiveSegments bool
 }
 
 // Overlapped returns o with the segment overlap enabled at the default
@@ -136,11 +140,12 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		sink = event.Multi(ctr, d)
 	}
 	res, err := vm.Run(p, vm.Options{
-		Seed:          seed,
-		KnownLibs:     cfg.KnownLibs,
-		Instr:         ins,
-		Sink:          sink,
-		SegmentEvents: opts.SegmentEvents,
+		Seed:             seed,
+		KnownLibs:        cfg.KnownLibs,
+		Instr:            ins,
+		Sink:             sink,
+		SegmentEvents:    opts.SegmentEvents,
+		AdaptiveSegments: opts.AdaptiveSegments,
 	})
 	return d.Report(), res, err
 }

@@ -18,8 +18,9 @@ import (
 // its one execution goroutine) routes each access to the shard owning its
 // address, in batches, through an event.Demux; synchronization events —
 // the only events that mutate vector clocks, held-lock sets, or the ad-hoc
-// engine's classification — stay on the coordinator and act only after the
-// queued accesses that depend on the state they mutate have drained.
+// engine's classification — stay on the coordinator, and every queued
+// access carries immutable stamps of the coordinator state it reads, so
+// those mutations never wait for queued work.
 //
 // # Determinism argument
 //
@@ -32,13 +33,17 @@ import (
 //  2. Stable inputs. Processing an access reads, besides shard-owned
 //     shadow state, only (a) the accessing thread's vector clock, (b) its
 //     held-lock set, and (c) the ad-hoc engine's sync-variable
-//     classification. (a) is passed by reference but mutated only by
-//     coordinator events that first flush every shard with queued work
-//     tagged by that thread (event.Demux.FlushTag); (b) is passed by
-//     immutable snapshot (lockset.HeldSnapshot); (c) is mutated only by
-//     spin-read marks, which first flush the shard owning the marked
-//     address. So every access is processed against precisely the state
-//     the sequential detector would have seen at its stream position.
+//     classification. (a) and (b) are stamped into the entry as immutable
+//     snapshots at event time — a frozen clock view (vc.Frozen, O(1) by
+//     copy-on-write) and a memoized held-lock set (lockset.HeldSnapshot)
+//     — exactly the values the sequential detector would read at that
+//     stream position, whatever the coordinator mutates afterwards. (c)
+//     is mutated only by spin-read marks, which first flush the shard
+//     owning the marked address. Before the clock store, (a) was a live
+//     pointer and every clock-mutating event had to flush dependent
+//     queued work first (a dependency-tagged selective flush the demux
+//     used to carry); frozen stamps retired that whole barrier class —
+//     sync events no longer stall the pipeline.
 //  3. Stable outputs. Warnings carry their stream position (EventIdx);
 //     the merged report sorts by it, which reproduces the sequential
 //     append order because each event yields at most one warning. Shadow
@@ -72,10 +77,10 @@ type entry struct {
 	// idx is the event's position in the stream (1-based), the sequential
 	// detector's d.events at processing time.
 	idx int64
-	// clock is the accessing thread's live vector clock. Safe to read
-	// until the coordinator next mutates it, which it does only after
-	// flushing this entry (FlushTag of the thread's tag).
-	clock *vc.Clock
+	// clock is the accessing thread's clock at event time, as an immutable
+	// frozen view — safe to read from the shard worker no matter what the
+	// coordinator does to the live clock afterwards.
+	clock vc.Frozen
 	// held is the thread's held-lock snapshot (zero for tools that run no
 	// lockset).
 	held lockset.Set

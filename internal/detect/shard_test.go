@@ -30,6 +30,8 @@ func fingerprint(rep *detect.Report) string {
 		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops,
 		rep.InferredLockWords, rep.ShadowBytes)
 	fmt.Fprintf(&b, "promotions=%d demotions=%d\n", rep.ReadSetPromotions, rep.ReadSetDemotions)
+	fmt.Fprintf(&b, "syncEpochHits=%d syncRebases=%d syncInflates=%d\n",
+		rep.SyncEpochHits, rep.SyncRebases, rep.SyncInflates)
 	fmt.Fprintf(&b, "racyContexts=%d contexts=%v\n", rep.RacyContexts(), rep.ContextList())
 	for i, w := range rep.Warnings {
 		fmt.Fprintf(&b, "warning[%d]=%+v\n", i, w)
@@ -51,6 +53,9 @@ func pipelineModes() []struct {
 	}{
 		{"overlap", detect.RunOpts{}.Overlapped()},
 		{"overlap-small", detect.RunOpts{SegmentEvents: 64}},
+		// Adaptive sizing starts tiny so real grow/shrink transitions
+		// happen inside the test streams; the report must not notice.
+		{"overlap-adaptive", detect.RunOpts{SegmentEvents: 16, AdaptiveSegments: true}},
 	}
 	for _, n := range shardCounts {
 		modes = append(modes,

@@ -10,8 +10,15 @@ import (
 // This file is the stream side of intra-run detector sharding: a Demux
 // takes the vm's serial event stream apart into per-shard batches and feeds
 // them to a sched.Pool worker per shard, while giving the coordinator the
-// ordering tool it needs — selective flushes that wait only for the shards
-// whose queued work depends on a global state change.
+// ordering tool it needs — per-shard flushes that complete an address
+// range's queued work before the coordinator touches state those items
+// depend on.
+//
+// (An earlier revision also carried per-item dependency tags and a
+// selective FlushTag, which the coordinator used before mutating a
+// thread's clock or lock set. The clock store made queued items carry
+// immutable stamps of that state instead, so the whole tag mechanism went
+// away with its last caller.)
 //
 // Items are batched (slice batches recycled through a sync.Pool), not sent
 // one-per-channel-operation, so the hot path costs an append per item and
@@ -29,33 +36,13 @@ const DefaultBatchSize = 256
 // Sync-dense streams (spin loops hammering one flag) hit this constantly.
 const inlineThreshold = 32
 
-// TidTag returns the dependency tag bit for a thread id, used to mark
-// items with the threads whose coordinator state they read. Thread ids
-// beyond 62 share a saturation bit — flushes become conservative (they may
-// wait for more than strictly necessary), never unsound.
-func TidTag(t Tid) uint64 {
-	if t < 0 || t > 62 {
-		return 1 << 63
-	}
-	return 1 << uint(t)
-}
-
-// inflight is one dispatched, possibly unfinished batch: its dependency
-// mask and its position in the shard's dispatch order.
-type inflight struct {
-	ticket int64
-	mask   uint64
-}
-
 // demuxShard is the coordinator-side state of one shard. Only the demux
 // owner touches it, except done, which the shard's worker increments.
 type demuxShard[T any] struct {
-	pending  []T
-	mask     uint64 // union of pending items' tags
-	issued   int64  // batches dispatched
-	done     atomic.Int64
-	inflight []inflight // dispatched batches not yet observed complete
-	wg       sync.WaitGroup
+	pending []T
+	issued  int64 // batches dispatched
+	done    atomic.Int64
+	wg      sync.WaitGroup
 }
 
 // Demux fans one serial stream out to per-shard workers in batches. All
@@ -93,11 +80,9 @@ func NewDemux[T any](shards, batchSize int, process func(shard int, batch []T)) 
 	return d
 }
 
-// Send queues one item for a shard, tagged with the dependency bits of the
-// coordinator state it reads (TidTag of the thread whose clock the item's
-// processing consults).
-func (d *Demux[T]) Send(shard int, tag uint64, item T) {
-	*d.Slot(shard, tag) = item
+// Send queues one item for a shard.
+func (d *Demux[T]) Send(shard int, item T) {
+	*d.Slot(shard) = item
 }
 
 // Slot is Send without the copy: it returns a pointer to the queued item
@@ -105,7 +90,7 @@ func (d *Demux[T]) Send(shard int, tag uint64, item T) {
 // next Slot, Send, or flush call for the same shard — a full pending
 // batch is dispatched at the start of the next Slot call, never while the
 // caller still holds the pointer.
-func (d *Demux[T]) Slot(shard int, tag uint64) *T {
+func (d *Demux[T]) Slot(shard int) *T {
 	s := &d.shards[shard]
 	if s.pending == nil {
 		s.pending = *(d.free.Get().(*[]T))
@@ -115,7 +100,6 @@ func (d *Demux[T]) Slot(shard int, tag uint64) *T {
 	}
 	var zero T
 	s.pending = append(s.pending, zero)
-	s.mask |= tag
 	return &s.pending[len(s.pending)-1]
 }
 
@@ -125,8 +109,6 @@ func (d *Demux[T]) dispatch(shard int) {
 	batch := s.pending
 	s.pending = nil
 	s.issued++
-	s.inflight = append(s.inflight, inflight{ticket: s.issued, mask: s.mask})
-	s.mask = 0
 	s.wg.Add(1)
 	d.pool.Submit(shard, func() {
 		defer s.wg.Done()
@@ -137,38 +119,12 @@ func (d *Demux[T]) dispatch(shard int) {
 	})
 }
 
-// prune drops inflight records for batches the worker has finished. The
-// worker's done counter is published before wg.Done, so everything at or
-// below it is complete.
-func (d *Demux[T]) prune(shard int) {
+// idle reports whether every dispatched batch of the shard has completed.
+// The worker's done counter is published before wg.Done, so everything at
+// or below it is complete.
+func (d *Demux[T]) idle(shard int) bool {
 	s := &d.shards[shard]
-	if len(s.inflight) == 0 {
-		return
-	}
-	doneUpTo := s.done.Load()
-	keep := s.inflight[:0]
-	for _, f := range s.inflight {
-		if f.ticket > doneUpTo {
-			keep = append(keep, f)
-		}
-	}
-	s.inflight = keep
-}
-
-// depends reports whether the shard has queued or running work whose tags
-// intersect tag.
-func (d *Demux[T]) depends(shard int, tag uint64) bool {
-	s := &d.shards[shard]
-	if s.mask&tag != 0 {
-		return true
-	}
-	d.prune(shard)
-	for _, f := range s.inflight {
-		if f.mask&tag != 0 {
-			return true
-		}
-	}
-	return false
+	return s.done.Load() >= s.issued
 }
 
 // FlushShard completes all of one shard's queued work before returning.
@@ -176,12 +132,10 @@ func (d *Demux[T]) depends(shard int, tag uint64) bool {
 // inline on the caller instead of through the worker.
 func (d *Demux[T]) FlushShard(shard int) {
 	s := &d.shards[shard]
-	d.prune(shard)
-	if len(s.inflight) == 0 && len(s.pending) <= inlineThreshold {
+	if d.idle(shard) && len(s.pending) <= inlineThreshold {
 		if len(s.pending) > 0 {
 			d.process(shard, s.pending)
 			s.pending = s.pending[:0]
-			s.mask = 0
 		}
 		// A batch that panicked still counts as complete (its deferred
 		// done/wg ran), so surface worker panics on this path too.
@@ -192,20 +146,7 @@ func (d *Demux[T]) FlushShard(shard int) {
 		d.dispatch(shard)
 	}
 	s.wg.Wait()
-	s.inflight = s.inflight[:0]
 	d.pool.Check()
-}
-
-// FlushTag completes the queued work of every shard whose pending or
-// running items depend on tag — the coordinator calls this before mutating
-// the state those items read (a thread's vector clock, its held-lock set).
-// Shards with no dependent work are left running.
-func (d *Demux[T]) FlushTag(tag uint64) {
-	for i := range d.shards {
-		if d.depends(i, tag) {
-			d.FlushShard(i)
-		}
-	}
 }
 
 // FlushAll completes all queued work on every shard.

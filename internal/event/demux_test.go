@@ -18,17 +18,17 @@ func (c *collector) process(shard int, batch []int) {
 	c.mu.Unlock()
 }
 
-// TestDemuxOrderPerShard sends a tagged stream through a small-batch demux
-// and checks every shard saw its items in send order, across batch
-// boundaries and interleaved flushes.
+// TestDemuxOrderPerShard sends a stream through a small-batch demux and
+// checks every shard saw its items in send order, across batch boundaries
+// and interleaved flushes.
 func TestDemuxOrderPerShard(t *testing.T) {
 	c := &collector{got: make(map[int][]int)}
 	d := NewDemux(3, 4, c.process)
 	const n = 1000
 	for i := 0; i < n; i++ {
-		d.Send(i%3, TidTag(Tid(i%5)), i)
+		d.Send(i%3, i)
 		if i%97 == 0 {
-			d.FlushTag(TidTag(Tid(i % 5)))
+			d.FlushShard(i % 3)
 		}
 	}
 	d.Close()
@@ -46,23 +46,22 @@ func TestDemuxOrderPerShard(t *testing.T) {
 	}
 }
 
-// TestDemuxFlushTag checks the selective flush: after FlushTag, every item
-// carrying an intersecting tag has been processed; items of untagged
-// shards may still be pending.
-func TestDemuxFlushTag(t *testing.T) {
+// TestDemuxFlushShard checks the selective flush: after FlushShard, every
+// item of that shard has been processed; other shards' items may still be
+// pending.
+func TestDemuxFlushShard(t *testing.T) {
 	c := &collector{got: make(map[int][]int)}
 	d := NewDemux(2, 8, c.process)
-	// Shard 0 gets thread-1 items, shard 1 gets thread-2 items.
 	for i := 0; i < 100; i++ {
-		d.Send(0, TidTag(1), i)
-		d.Send(1, TidTag(2), 1000+i)
+		d.Send(0, i)
+		d.Send(1, 1000+i)
 	}
-	d.FlushTag(TidTag(1))
+	d.FlushShard(0)
 	c.mu.Lock()
 	n0 := len(c.got[0])
 	c.mu.Unlock()
 	if n0 != 100 {
-		t.Errorf("after FlushTag(1): shard 0 processed %d items, want 100", n0)
+		t.Errorf("after FlushShard(0): shard 0 processed %d items, want 100", n0)
 	}
 	d.Close()
 	c.mu.Lock()
@@ -78,7 +77,7 @@ func TestDemuxSlot(t *testing.T) {
 	c := &collector{got: make(map[int][]int)}
 	d := NewDemux(1, 4, c.process)
 	for i := 0; i < 50; i++ {
-		*d.Slot(0, TidTag(0)) = i
+		*d.Slot(0) = i
 		if i%13 == 0 {
 			d.FlushAll()
 		}
@@ -91,15 +90,5 @@ func TestDemuxSlot(t *testing.T) {
 		if v != i {
 			t.Fatalf("item %d = %d, want %d", i, v, i)
 		}
-	}
-}
-
-// TestTidTag checks tag bits, including the saturation bit for large ids.
-func TestTidTag(t *testing.T) {
-	if TidTag(0) != 1 || TidTag(5) != 1<<5 || TidTag(62) != 1<<62 {
-		t.Error("small tids must map to their own bits")
-	}
-	if TidTag(63) != 1<<63 || TidTag(200) != 1<<63 || TidTag(-1) != 1<<63 {
-		t.Error("out-of-range tids must share the saturation bit")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
@@ -45,6 +46,9 @@ type Runner struct {
 	// pipeline (detect.RunOpts.SegmentEvents), overlapping execution and
 	// detection within each run. Output is byte-identical either way.
 	overlap bool
+	// adaptive sizes the overlap segments from observed pipeline stalls
+	// (detect.RunOpts.AdaptiveSegments).
+	adaptive bool
 	// stats, when set, accumulates detector counters across every run.
 	stats *RunStats
 }
@@ -69,6 +73,17 @@ func (r *Runner) WithOverlap(on bool) *Runner {
 	return r
 }
 
+// WithAdaptiveOverlap toggles stall-driven segment sizing, implying the
+// overlap pipeline itself; byte-identical output under every sizing
+// policy.
+func (r *Runner) WithAdaptiveOverlap(on bool) *Runner {
+	r.adaptive = on
+	if on {
+		r.overlap = true
+	}
+	return r
+}
+
 // WithStats attaches a stats accumulator observing every run's report.
 func (r *Runner) WithStats(s *RunStats) *Runner {
 	r.stats = s
@@ -88,6 +103,7 @@ func (r *Runner) runOpts() detect.RunOpts {
 	opts := detect.RunOpts{Shards: r.runShards()}
 	if r.overlap {
 		opts = opts.Overlapped()
+		opts.AdaptiveSegments = r.adaptive
 	}
 	return opts
 }
@@ -126,6 +142,23 @@ func prepareSuite(cases []dataracetest.Case) []*detect.Prepared {
 		preps[i] = detect.Prepare(c.Build())
 	}
 	return preps
+}
+
+// suitePreps caches the compiled accuracy suite for the whole process.
+// The suite is fixed and a Prepared is immutable at run time (its program
+// and per-window instrumentation are shared by concurrent jobs already),
+// so repeated table runs — Table 1 and Table 2 in one tables invocation,
+// every iteration of the benchmarks — reuse one compilation instead of
+// paying 120 builds plus instrumentation each: compilation dominated a
+// table run's allocations before this cache.
+var (
+	suiteOnce  sync.Once
+	suitePreps []*detect.Prepared
+)
+
+func preparedSuite() []*detect.Prepared {
+	suiteOnce.Do(func() { suitePreps = prepareSuite(dataracetest.Suite()) })
+	return suitePreps
 }
 
 // runAccuracyJobs scores a list of (tool, case) jobs on the engine and
@@ -179,7 +212,7 @@ func (r *Runner) Accuracy(cfg detect.Config, seed int64) (AccuracyRow, error) {
 // compiled workload.
 func (r *Runner) AccuracyTable(cfgs []detect.Config, seed int64) ([]AccuracyRow, error) {
 	cases := dataracetest.Suite()
-	preps := prepareSuite(cases)
+	preps := preparedSuite()
 	jobs := make([]accuracyJob, 0, len(cfgs)*len(cases))
 	for _, cfg := range cfgs {
 		for i, c := range cases {

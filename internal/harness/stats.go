@@ -21,6 +21,12 @@ type RunStats struct {
 	ShadowBytes atomic.Int64
 	Promotions  atomic.Int64
 	Demotions   atomic.Int64
+	// Sync-side clock-store counters (hb.Stats, summed over runs): how
+	// often release/acquire stayed on the O(1) epoch path versus re-basing
+	// or inflating to a full vector clock.
+	EpochHits atomic.Int64
+	Rebases   atomic.Int64
+	Inflates  atomic.Int64
 }
 
 // Observe folds one run's report into the totals.
@@ -33,6 +39,9 @@ func (s *RunStats) Observe(rep *detect.Report) {
 	s.ShadowBytes.Add(rep.ShadowBytes)
 	s.Promotions.Add(rep.ReadSetPromotions)
 	s.Demotions.Add(rep.ReadSetDemotions)
+	s.EpochHits.Add(rep.SyncEpochHits)
+	s.Rebases.Add(rep.SyncRebases)
+	s.Inflates.Add(rep.SyncInflates)
 }
 
 // Footer renders the stats block printed under a table run. elapsed is the
@@ -46,5 +55,11 @@ func (s *RunStats) Footer(elapsed time.Duration) string {
 	}
 	fmt.Fprintf(&b, "\nstats: shadow bytes %d (summed over runs), read-set promotions %d, demotions %d\n",
 		s.ShadowBytes.Load(), s.Promotions.Load(), s.Demotions.Load())
+	hits, rebases, inflates := s.EpochHits.Load(), s.Rebases.Load(), s.Inflates.Load()
+	fmt.Fprintf(&b, "stats: sync epoch hits %d, rebases %d, inflates %d", hits, rebases, inflates)
+	if total := hits + rebases + inflates; total > 0 {
+		fmt.Fprintf(&b, " (%.1f%% epoch-hit rate)", 100*float64(hits)/float64(total))
+	}
+	fmt.Fprintln(&b)
 	return b.String()
 }

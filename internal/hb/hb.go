@@ -4,6 +4,20 @@
 //
 // Detectors feed it the intercepted sync events of the libraries they know;
 // package core feeds it the edges inferred from spinning read loops.
+//
+// Two implementations share the Engine interface. New returns the
+// production clock store: thread clocks are the only mutable clocks, every
+// published value is an immutable vc.Frozen handle (copy-on-write, O(1) to
+// hand out), and sync objects run an epoch-compressed fast path — an object
+// whose clock was last published by a single thread holds (owner, tick, a
+// frozen base) and only inflates to a full accumulator clock on a
+// cross-thread release, the object-side mirror of the detector's adaptive
+// read representation. NewReference returns the seed full-vector-clock
+// engine, kept as the reference side of the equivalence tests (the same
+// pattern as detect/refreads.go): both engines compute the identical
+// happens-before relation, so detector reports are byte-identical under
+// either, which TestSyncStoreEquivalence* in package detect pins corpus-
+// wide.
 package hb
 
 import (
@@ -12,40 +26,112 @@ import (
 )
 
 // Engine tracks the happens-before relation of one execution.
-type Engine struct {
-	threads  []*vc.Clock
-	objs     map[int64]*vc.Clock
-	barriers map[int64]*barrierState
-	// snaps memoizes Snapshot per thread, keyed by the clock's version —
-	// the clock-side analogue of lockset.HeldSnapshot. A release-heavy
-	// stream (every write of a spin condition snapshots the writer) pays
-	// one copy per clock *change* instead of one per snapshot.
-	snaps []snapEntry
+type Engine interface {
+	// ClockOf returns the live clock of thread t, creating it on first use.
+	// Callers may Join into it but must not retain it across engine
+	// operations; durable views come from Snapshot.
+	ClockOf(t event.Tid) *vc.Clock
+	// Spawn orders parent before child: the child inherits the parent's
+	// clock.
+	Spawn(parent, child event.Tid)
+	// Join orders child before parent at the join point.
+	Join(parent, child event.Tid)
+	// Release publishes thread t's knowledge on object obj (mutex unlock,
+	// condvar signal, semaphore post, queue put).
+	Release(t event.Tid, obj int64)
+	// Acquire imports the object's published knowledge into thread t (mutex
+	// lock, condvar wakeup, semaphore wait, queue get).
+	Acquire(t event.Tid, obj int64)
+	// BarrierArrive registers thread t at the barrier (the Pre side of a
+	// barrier wait). All arrivals of a generation are accumulated.
+	BarrierArrive(t event.Tid, obj int64)
+	// BarrierLeave imports the accumulated generation clock into thread t
+	// (the Post side). When every arrival has left, the generation resets.
+	// A thread re-entering before the generation drains merges into the
+	// next generation; that over-approximates ordering (extra edges, never
+	// missing ones), the conservative direction for false-positive counts.
+	BarrierLeave(t event.Tid, obj int64)
+	// Snapshot returns an immutable view of thread t's current clock.
+	// O(1) and allocation-free while the clock is unchanged; the engine's
+	// next mutation of the clock copies first (vc.Clock.Freeze).
+	Snapshot(t event.Tid) vc.Frozen
+	// ForgetObject releases all engine state of a destroyed sync object
+	// (its release clock and, for barriers, the generation state). Driven
+	// by the destruction events of intercepted libraries; without it a
+	// long-running execution's object table only ever grows.
+	ForgetObject(obj int64)
+	// Stats returns the engine's representation counters (zero for the
+	// reference engine).
+	Stats() Stats
+	// Bytes approximates the engine's memory footprint for the memory
+	// figure.
+	Bytes() int64
 }
 
-type snapEntry struct {
-	ver   uint64
-	clock *vc.Clock
+// Stats counts the clock store's representation transitions — how often the
+// sync side stayed on the O(1) epoch path versus falling back to full
+// vector-clock work. Deterministic for a given (program, seed) stream.
+type Stats struct {
+	// EpochHits counts O(1) sync-object fast paths taken: same-owner
+	// re-releases that only advanced the epoch tick, and acquires skipped
+	// because the acquirer's clock already covered the publication.
+	EpochHits int64
+	// Rebases counts epoch-mode releases that re-froze the owner's clock
+	// because it had imported foreign knowledge since the last publication.
+	Rebases int64
+	// Inflates counts sync objects inflated from the epoch representation
+	// to a full accumulator clock by a cross-thread release.
+	Inflates int64
+}
+
+// New returns an empty clock-store engine.
+func New() Engine { return &store{} }
+
+// objState is the clock of one sync object in the store.
+//
+// Epoch mode (full == nil): the object's published clock is
+// base ∨ {owner: tick} — the owner's frozen clock at its last re-base,
+// with the owner's component raised to its value at the last release.
+// While the owner's clock imports no foreign knowledge (vc.Clock.Joins
+// unchanged), consecutive releases only advance tick: O(1), no copy, no
+// join. A release by a different thread inflates to full, the seed
+// representation, which joins in place from then on. The lattice is
+// one-way — epoch → rebased epoch → full — matching the read side's
+// epoch → read-set promotion.
+type objState struct {
+	owner     event.Tid
+	tick      uint64
+	base      vc.Frozen
+	baseJoins uint64
+	full      *vc.Clock
 }
 
 type barrierState struct {
-	pending  *vc.Clock
+	// pendingF carries a generation's first arrival as a frozen handle —
+	// the epoch-mode analogue for the (common in generated workloads)
+	// single-arrival prefix. A second arrival inflates into acc, which is
+	// recycled across generations.
+	pendingF vc.Frozen
+	acc      *vc.Clock
+	inflated bool
 	arrivals int
 	leaves   int
 }
 
-// New returns an empty engine.
-func New() *Engine {
-	return &Engine{
-		objs:     make(map[int64]*vc.Clock),
-		barriers: make(map[int64]*barrierState),
-	}
+// store is the production engine. Thread clocks are mutable and owned here;
+// everything published — snapshots, object bases, barrier pendings — is a
+// frozen handle. Maps are allocated lazily: most runs of the accuracy suite
+// touch no barriers, and lib-less configurations touch no sync objects at
+// all.
+type store struct {
+	threads  []*vc.Clock
+	objs     map[int64]*objState
+	barriers map[int64]*barrierState
+	stats    Stats
 }
 
-// ClockOf returns the clock of thread t, creating it on first use. The
-// returned clock is the engine's live clock: callers may Join into it but
-// must not retain it across engine operations.
-func (e *Engine) ClockOf(t event.Tid) *vc.Clock {
+// ClockOf returns the clock of thread t, creating it on first use.
+func (e *store) ClockOf(t event.Tid) *vc.Clock {
 	i := int(t)
 	for len(e.threads) <= i {
 		fresh := vc.New()
@@ -55,8 +141,7 @@ func (e *Engine) ClockOf(t event.Tid) *vc.Clock {
 	return e.threads[i]
 }
 
-// Spawn orders parent before child: the child inherits the parent's clock.
-func (e *Engine) Spawn(parent, child event.Tid) {
+func (e *store) Spawn(parent, child event.Tid) {
 	pc := e.ClockOf(parent)
 	cc := e.ClockOf(child)
 	cc.Join(pc)
@@ -64,99 +149,165 @@ func (e *Engine) Spawn(parent, child event.Tid) {
 	cc.Tick(int(child))
 }
 
-// Join orders child before parent at the join point.
-func (e *Engine) Join(parent, child event.Tid) {
+func (e *store) Join(parent, child event.Tid) {
 	pc := e.ClockOf(parent)
 	pc.Join(e.ClockOf(child))
 	pc.Tick(int(parent))
 }
 
-// Release publishes thread t's knowledge on object obj (mutex unlock,
-// condvar signal, semaphore post, queue put).
-func (e *Engine) Release(t event.Tid, obj int64) {
-	c := e.objs[obj]
-	if c == nil {
-		c = vc.New()
-		e.objs[obj] = c
-	}
+func (e *store) Release(t event.Tid, obj int64) {
 	tc := e.ClockOf(t)
-	c.Join(tc)
+	s := e.objs[obj]
+	switch {
+	case s == nil:
+		if e.objs == nil {
+			e.objs = make(map[int64]*objState)
+		}
+		e.objs[obj] = &objState{
+			owner: t, tick: tc.Get(int(t)),
+			base: tc.Freeze(), baseJoins: tc.Joins(),
+		}
+	case s.full != nil:
+		// Inflated: the seed path, joining in place.
+		s.full.Join(tc)
+	case s.owner == t:
+		if tc.Joins() == s.baseJoins {
+			// Only own ticks since the base was frozen: the publication is
+			// still base ∨ {t: now}. O(1), no copy, no join.
+			s.tick = tc.Get(int(t))
+			e.stats.EpochHits++
+		} else {
+			// The owner imported foreign knowledge; its whole current clock
+			// supersedes the old publication (clocks are monotonic), so
+			// re-base instead of joining.
+			s.base = tc.Freeze()
+			s.baseJoins = tc.Joins()
+			s.tick = tc.Get(int(t))
+			e.stats.Rebases++
+		}
+	default:
+		// Cross-thread release: materialize the old publication and join
+		// the new releaser — the epoch → full inflation.
+		full := s.base.Thaw()
+		if full.Get(int(s.owner)) < s.tick {
+			full.Set(int(s.owner), s.tick)
+		}
+		full.Join(tc)
+		s.full = full
+		s.base = vc.Frozen{}
+		e.stats.Inflates++
+	}
 	tc.Tick(int(t))
 }
 
-// Acquire imports the object's published knowledge into thread t (mutex
-// lock, condvar wakeup, semaphore wait, queue get).
-func (e *Engine) Acquire(t event.Tid, obj int64) {
-	if c := e.objs[obj]; c != nil {
-		e.ClockOf(t).Join(c)
+func (e *store) Acquire(t event.Tid, obj int64) {
+	s := e.objs[obj]
+	if s == nil {
+		return
 	}
+	tc := e.ClockOf(t)
+	if s.full != nil {
+		tc.Join(s.full)
+		return
+	}
+	if tc.Get(int(s.owner)) >= s.tick {
+		// The acquirer has already synchronized with the owner at or after
+		// the publishing release, so the publication is covered: c[u] >= k
+		// means u's event at tick k happens-before the acquirer's current
+		// point, and everything in u's clock at that event is below it.
+		e.stats.EpochHits++
+		return
+	}
+	tc.JoinPub(s.base, int(s.owner), s.tick)
 }
 
-// BarrierArrive registers thread t at the barrier (the Pre side of a
-// barrier wait). All arrivals of a generation are accumulated.
-func (e *Engine) BarrierArrive(t event.Tid, obj int64) {
+func (e *store) BarrierArrive(t event.Tid, obj int64) {
 	bs := e.barriers[obj]
 	if bs == nil {
-		bs = &barrierState{pending: vc.New()}
+		if e.barriers == nil {
+			e.barriers = make(map[int64]*barrierState)
+		}
+		bs = &barrierState{}
 		e.barriers[obj] = bs
 	}
 	tc := e.ClockOf(t)
-	bs.pending.Join(tc)
+	if bs.arrivals == 0 && !bs.inflated {
+		bs.pendingF = tc.Freeze()
+	} else {
+		if !bs.inflated {
+			if bs.acc == nil {
+				bs.acc = vc.New()
+			}
+			bs.acc.JoinFrozen(bs.pendingF)
+			bs.pendingF = vc.Frozen{}
+			bs.inflated = true
+		}
+		bs.acc.Join(tc)
+	}
 	bs.arrivals++
 	tc.Tick(int(t))
 }
 
-// BarrierLeave imports the accumulated generation clock into thread t (the
-// Post side). When every arrival has left, the generation resets. A thread
-// re-entering before the generation drains merges into the next generation;
-// that over-approximates ordering (extra edges, never missing ones), which
-// is the conservative direction for false-positive counts.
-func (e *Engine) BarrierLeave(t event.Tid, obj int64) {
+func (e *store) BarrierLeave(t event.Tid, obj int64) {
 	bs := e.barriers[obj]
 	if bs == nil {
 		return
 	}
-	e.ClockOf(t).Join(bs.pending)
+	if bs.inflated {
+		e.ClockOf(t).Join(bs.acc)
+	} else if bs.arrivals > 0 {
+		e.ClockOf(t).JoinFrozen(bs.pendingF)
+	}
 	bs.leaves++
 	if bs.leaves >= bs.arrivals {
-		bs.pending = vc.New()
+		bs.pendingF = vc.Frozen{}
 		bs.arrivals = 0
 		bs.leaves = 0
+		if bs.inflated {
+			bs.acc.Reset() // recycle the accumulator for the next generation
+			bs.inflated = false
+		}
 	}
 }
 
-// Snapshot returns a copy of thread t's current clock, memoized per
-// (thread, clock version): consecutive snapshots of an unchanged clock
-// return the same copy. The returned clock is shared with later callers
-// and MUST be treated as immutable — callers that need to mutate it (the
-// ad-hoc engine's release-sequence extension) must Copy it first.
-func (e *Engine) Snapshot(t event.Tid) *vc.Clock {
-	c := e.ClockOf(t)
-	i := int(t)
-	for len(e.snaps) <= i {
-		e.snaps = append(e.snaps, snapEntry{})
-	}
-	if s := &e.snaps[i]; s.clock != nil && s.ver == c.Version() {
-		return s.clock
-	}
-	cp := c.Copy()
-	e.snaps[i] = snapEntry{ver: c.Version(), clock: cp}
-	return cp
+func (e *store) Snapshot(t event.Tid) vc.Frozen {
+	return e.ClockOf(t).Freeze()
 }
 
-// Bytes approximates the engine's memory footprint for the memory figure.
-func (e *Engine) Bytes() int64 {
+func (e *store) ForgetObject(obj int64) {
+	delete(e.objs, obj)
+	delete(e.barriers, obj)
+}
+
+func (e *store) Stats() Stats { return e.stats }
+
+// Bytes approximates the engine's footprint under the seed cost model, so
+// the memory figures stay comparable across clock representations: an
+// epoch-mode object is charged what its materialized clock would cost.
+func (e *store) Bytes() int64 {
 	var n int64
 	for _, c := range e.threads {
 		if c != nil {
 			n += c.Bytes()
 		}
 	}
-	for _, c := range e.objs {
-		n += c.Bytes() + 16
+	for _, s := range e.objs {
+		if s.full != nil {
+			n += s.full.Bytes() + 16
+		} else {
+			l := s.base.Len()
+			if int(s.owner)+1 > l {
+				l = int(s.owner) + 1
+			}
+			n += int64(l)*8 + 24 + 16
+		}
 	}
 	for _, b := range e.barriers {
-		n += b.pending.Bytes() + 32
+		if b.inflated {
+			n += b.acc.Bytes() + 32
+		} else {
+			n += b.pendingF.Bytes() + 32
+		}
 	}
 	return n
 }

@@ -308,6 +308,7 @@ const (
 	SyncOnceEnter   // once-guard begin (acquire)
 	SyncQueuePut    // task queue put (release on slot)
 	SyncQueueGet    // task queue get (acquire on slot)
+	SyncDestroy     // primitive destruction: no ordering edge, releases detector state
 )
 
 var syncKindNames = [...]string{
@@ -316,6 +317,7 @@ var syncKindNames = [...]string{
 	SyncBarrierWait: "barrier-wait", SyncSemPost: "sem-post", SyncSemWait: "sem-wait",
 	SyncRWLockRd: "rwlock-rd", SyncRWLockWr: "rwlock-wr", SyncRWUnlock: "rw-unlock",
 	SyncOnceEnter: "once-enter", SyncQueuePut: "queue-put", SyncQueueGet: "queue-get",
+	SyncDestroy: "destroy",
 }
 
 // String returns the name of the sync kind.

@@ -124,6 +124,20 @@ type Var struct {
 	Candidates Set
 }
 
+// heldState is one thread's held-lock bookkeeping: the live lock list and
+// its memoized immutable snapshot, invalidated by lock operations — the
+// same interning scheme as the clock layer (a mutable core whose frozen
+// view is rebuilt at most once per mutation, vc.Clock.Freeze).
+type heldState struct {
+	locks []int64
+	snap  Set
+	// snapValid marks snap as current; cleared by lock operations.
+	snapValid bool
+	// ever marks threads that ever acquired a lock, for the seed-model
+	// accounting (HeldBytes charged one entry per such thread).
+	ever bool
+}
+
 // Tracker maintains held locks per thread and Eraser state per variable.
 //
 // The two halves have different owners under detector sharding: held-lock
@@ -131,42 +145,50 @@ type Var struct {
 // coordinator, while per-variable state is touched on every access and
 // lives with the shadow shard that owns the address (AccessWith carries
 // the held set across). A single-threaded detector uses one Tracker for
-// both, which is the degenerate case of the same split.
+// both, which is the degenerate case of the same split. Held state is a
+// dense slice indexed by thread id (thread ids are the vm's small dense
+// range), so the per-access HeldSnapshot is an index and a flag check —
+// no map traffic on the hot path. The vars map is allocated lazily: the
+// shard-side half of a DRD run never touches it.
 type Tracker struct {
-	held map[event.Tid][]int64
+	held []heldState
 	vars map[int64]*Var
-	// heldSets memoizes Held per thread between lock operations, so the
-	// coordinator can stamp every access entry with an immutable held-set
-	// snapshot without rebuilding it per event.
-	heldSets map[event.Tid]Set
 }
 
 // NewTracker returns an empty tracker.
-func NewTracker() *Tracker {
-	return &Tracker{
-		held: make(map[event.Tid][]int64),
-		vars: make(map[int64]*Var),
+func NewTracker() *Tracker { return &Tracker{} }
+
+// heldOf returns t's held state, growing the dense table on first use.
+func (tr *Tracker) heldOf(t event.Tid) *heldState {
+	for len(tr.held) <= int(t) {
+		tr.held = append(tr.held, heldState{})
 	}
+	return &tr.held[t]
 }
 
 // LockAcquired records that t now holds lock.
 func (tr *Tracker) LockAcquired(t event.Tid, lock int64) {
-	delete(tr.heldSets, t)
-	for _, l := range tr.held[t] {
+	hs := tr.heldOf(t)
+	hs.snapValid = false
+	hs.ever = true
+	for _, l := range hs.locks {
 		if l == lock {
 			return
 		}
 	}
-	tr.held[t] = append(tr.held[t], lock)
+	hs.locks = append(hs.locks, lock)
 }
 
 // LockReleased records that t no longer holds lock.
 func (tr *Tracker) LockReleased(t event.Tid, lock int64) {
-	delete(tr.heldSets, t)
-	hs := tr.held[t]
-	for i, l := range hs {
+	if int(t) >= len(tr.held) {
+		return
+	}
+	hs := &tr.held[t]
+	hs.snapValid = false
+	for i, l := range hs.locks {
 		if l == lock {
-			tr.held[t] = append(hs[:i], hs[i+1:]...)
+			hs.locks = append(hs.locks[:i], hs.locks[i+1:]...)
 			return
 		}
 	}
@@ -174,25 +196,30 @@ func (tr *Tracker) LockReleased(t event.Tid, lock int64) {
 
 // Held returns the set of locks t currently holds.
 func (tr *Tracker) Held(t event.Tid) Set {
-	return FromSlice(tr.held[t])
+	if int(t) >= len(tr.held) {
+		return Set{}
+	}
+	return FromSlice(tr.held[t].locks)
 }
 
 // HeldCount returns how many locks t holds.
-func (tr *Tracker) HeldCount(t event.Tid) int { return len(tr.held[t]) }
+func (tr *Tracker) HeldCount(t event.Tid) int {
+	if int(t) >= len(tr.held) {
+		return 0
+	}
+	return len(tr.held[t].locks)
+}
 
 // HeldSnapshot returns Held(t) memoized until the next lock operation by
 // t. The returned Set is immutable, so it can be read by a shard worker
 // while the tracker keeps tracking other threads' lock operations.
 func (tr *Tracker) HeldSnapshot(t event.Tid) Set {
-	if s, ok := tr.heldSets[t]; ok {
-		return s
+	hs := tr.heldOf(t)
+	if !hs.snapValid {
+		hs.snap = FromSlice(hs.locks)
+		hs.snapValid = true
 	}
-	s := tr.Held(t)
-	if tr.heldSets == nil {
-		tr.heldSets = make(map[event.Tid]Set)
-	}
-	tr.heldSets[t] = s
-	return s
+	return hs.snap
 }
 
 // Access runs the Eraser state machine for an access by t and reports
@@ -210,6 +237,9 @@ func (tr *Tracker) Access(t event.Tid, addr int64, isWrite bool) (warn bool, can
 func (tr *Tracker) AccessWith(t event.Tid, addr int64, isWrite bool, held Set) (warn bool, cands Set) {
 	v := tr.vars[addr]
 	if v == nil {
+		if tr.vars == nil {
+			tr.vars = make(map[int64]*Var)
+		}
 		v = &Var{State: Virgin, Candidates: Universal()}
 		tr.vars[addr] = v
 	}
@@ -243,13 +273,16 @@ func (tr *Tracker) VarState(addr int64) *Var { return tr.vars[addr] }
 // Bytes approximates the tracker's footprint for the memory figure.
 func (tr *Tracker) Bytes() int64 { return tr.HeldBytes() + tr.VarBytes() }
 
-// HeldBytes is the held-lock half of Bytes. The memoized held sets are
-// derived data and deliberately uncounted, so the figure stays comparable
-// with the unmemoized implementation.
+// HeldBytes is the held-lock half of Bytes, charged under the seed model:
+// one 32-byte entry per thread that ever locked, plus its live lock list.
+// The memoized held sets are derived data and deliberately uncounted, so
+// the figure stays comparable with the unmemoized implementation.
 func (tr *Tracker) HeldBytes() int64 {
 	var n int64
-	for _, hs := range tr.held {
-		n += int64(len(hs))*8 + 32
+	for i := range tr.held {
+		if tr.held[i].ever {
+			n += int64(len(tr.held[i].locks))*8 + 32
+		}
 	}
 	return n
 }

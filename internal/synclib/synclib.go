@@ -55,6 +55,7 @@ func Install(b *ir.Builder, tag ir.LibTag) *Lib {
 	l.buildSem()
 	l.buildRWLock()
 	l.buildOnce()
+	l.buildDestroy()
 	if tag == ir.LibPthread {
 		l.buildEvent()
 		l.buildEventCount()
@@ -266,6 +267,20 @@ func (l *Lib) buildOnce() {
 	two2 := g.Const(2)
 	g.AtomicStore(0, two2, "")
 	g.Ret(ir.NoReg)
+}
+
+// buildDestroy: the pthread_*_destroy family. Destruction performs no
+// synchronization — the annotated SyncDestroy event tells intercepting
+// detectors to release the object's happens-before state (hb.ForgetObject),
+// which is what keeps a long-running execution's object table bounded.
+// Using a destroyed primitive afterwards is undefined behavior in pthreads,
+// so dropping its release history is semantics-preserving.
+func (l *Lib) buildDestroy() {
+	for i, base := range []string{"mutex_destroy", "cond_destroy", "barrier_destroy", "sem_destroy", "rwlock_destroy"} {
+		f := l.B.LibFunc(l.Name(base), 1, l.Tag, ir.SyncDestroy)
+		f.SetLoc(l.Name("destroy.c"), 10+10*i)
+		f.Ret(ir.NoReg)
+	}
 }
 
 // buildEvent: a kernel-assisted event object whose wait loop evaluates its
@@ -529,4 +544,11 @@ func (l *Lib) SemPost(f *ir.FuncBuilder, sem int64, sym string) {
 func (l *Lib) SemWait(f *ir.FuncBuilder, sem int64, sym string) {
 	a := f.Addr(sem, sym)
 	f.Call(l.Name("sem_wait"), a)
+}
+
+// Destroy emits a destroy call for the named primitive kind ("mutex",
+// "cond", "barrier", "sem", "rwlock") on the given object address.
+func (l *Lib) Destroy(f *ir.FuncBuilder, kind string, obj int64, sym string) {
+	a := f.Addr(obj, sym)
+	f.Call(l.Name(kind+"_destroy"), a)
 }

@@ -145,11 +145,12 @@ type oracleShadow struct {
 // spawn/join edges like any detector, plus value-transfer edges on the
 // generator's flag words — knowledge no black-box tool has.
 type oracleSink struct {
-	hb    *hb.Engine
+	hb    hb.Engine
 	flags map[int64]bool // flag-word addresses
 	data  map[int64]string
-	// release maps (flag addr, written value) to the publishing clock.
-	release map[int64]map[int64]*vc.Clock
+	// release maps (flag addr, written value) to the publishing clock — a
+	// frozen handle of the happens-before engine, never a copy.
+	release map[int64]map[int64]vc.Frozen
 	shadow  map[int64]*oracleShadow
 
 	racyObserved map[string]bool
@@ -160,7 +161,7 @@ func newOracleSink(w *Workload) *oracleSink {
 		hb:           hb.New(),
 		flags:        make(map[int64]bool),
 		data:         make(map[int64]string),
-		release:      make(map[int64]map[int64]*vc.Clock),
+		release:      make(map[int64]map[int64]vc.Frozen),
 		shadow:       make(map[int64]*oracleShadow),
 		racyObserved: make(map[string]bool),
 	}
@@ -210,8 +211,8 @@ func (o *oracleSink) Handle(ev *event.Event) {
 			// Ground-truth flag protocol: observing value v means reading
 			// the write that published v, so the publisher's clock at that
 			// write happens-before everything after this read.
-			if rel := o.release[ev.Addr][ev.Value]; rel != nil {
-				o.hb.ClockOf(ev.Tid).Join(rel)
+			if rel, ok := o.release[ev.Addr][ev.Value]; ok {
+				o.hb.ClockOf(ev.Tid).JoinFrozen(rel)
 			}
 			return
 		}
@@ -220,7 +221,7 @@ func (o *oracleSink) Handle(ev *event.Event) {
 		if o.flags[ev.Addr] {
 			m := o.release[ev.Addr]
 			if m == nil {
-				m = make(map[int64]*vc.Clock)
+				m = make(map[int64]vc.Frozen)
 				o.release[ev.Addr] = m
 			}
 			m[ev.Value] = o.hb.Snapshot(ev.Tid)

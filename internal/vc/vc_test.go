@@ -173,3 +173,182 @@ func TestBytesGrowsWithLen(t *testing.T) {
 		t.Error("Bytes must grow with components")
 	}
 }
+
+// TestFreezeIsImmutableView pins the copy-on-write contract: a frozen view
+// holds the clock's value at freeze time forever, across every mutating
+// operation of the clock it came from.
+func TestFreezeIsImmutableView(t *testing.T) {
+	c := New()
+	c.Set(0, 3)
+	c.Set(1, 7)
+	f := c.Freeze()
+
+	mutations := []func(){
+		func() { c.Tick(0) },
+		func() { c.Set(1, 99) },
+		func() { other := New(); other.Set(5, 12); c.Join(other) },
+		func() { c.JoinFrozen(f) }, // no-op join must not disturb anything
+		func() { c.JoinPub(Frozen{}, 9, 4) },
+		func() { c.Reset() },
+	}
+	for i, m := range mutations {
+		m()
+		if f.Get(0) != 3 || f.Get(1) != 7 || f.Len() != 2 {
+			t.Fatalf("after mutation %d: frozen view changed to %s", i, f)
+		}
+	}
+}
+
+// TestFreezeIsInterned pins the O(1) hand-out: freezing an unchanged clock
+// returns views of the same backing array, and a mutation switches the
+// clock to a fresh array without touching the old one.
+func TestFreezeIsInterned(t *testing.T) {
+	c := New()
+	c.Tick(2)
+	f1 := c.Freeze()
+	f2 := c.Freeze()
+	if len(f1.ticks) > 0 && &f1.ticks[0] != &f2.ticks[0] {
+		t.Error("freezing an unchanged clock must share the backing array")
+	}
+	allocs := testing.AllocsPerRun(100, func() { _ = c.Freeze() })
+	if allocs != 0 {
+		t.Errorf("Freeze of an unchanged clock allocates %.1f per op, want 0", allocs)
+	}
+	c.Tick(2)
+	f3 := c.Freeze()
+	if f1.Get(2) != 1 || f3.Get(2) != 2 {
+		t.Errorf("views: old=%s new=%s, want <0,0,1> and <0,0,2>", f1, f3)
+	}
+}
+
+func TestJoinPub(t *testing.T) {
+	base := New()
+	base.Set(0, 4)
+	base.Set(1, 2)
+	fb := base.Freeze()
+
+	c := New()
+	c.Set(0, 1)
+	c.JoinPub(fb, 1, 9) // publication = base ∨ {1: 9}
+	for i, want := range []uint64{4, 9} {
+		if got := c.Get(i); got != want {
+			t.Errorf("c[%d] = %d, want %d", i, got, want)
+		}
+	}
+	// Equivalent to thaw+join+set-max.
+	ref := New()
+	ref.Set(0, 1)
+	ref.JoinFrozen(fb)
+	if ref.Get(1) < 9 {
+		ref.Set(1, 9)
+	}
+	if !c.LessOrEqual(ref) || !ref.LessOrEqual(c) {
+		t.Errorf("JoinPub = %s, want %s", c, ref)
+	}
+	// Already-covered publication is a no-op (version unchanged).
+	ver := c.Version()
+	c.JoinPub(fb, 1, 9)
+	if c.Version() != ver {
+		t.Error("covered JoinPub must not bump the version")
+	}
+}
+
+func TestJoinsCounterTracksForeignKnowledge(t *testing.T) {
+	c := New()
+	j0 := c.Joins()
+	c.Tick(0)
+	c.Tick(0)
+	if c.Joins() != j0 {
+		t.Error("Tick must not count as a join")
+	}
+	other := New()
+	other.Set(1, 5)
+	c.Join(other)
+	if c.Joins() == j0 {
+		t.Error("a changing Join must bump the join counter")
+	}
+	j1 := c.Joins()
+	c.Join(other) // already covered
+	if c.Joins() != j1 {
+		t.Error("a no-op Join must not bump the join counter")
+	}
+}
+
+func TestThawIndependence(t *testing.T) {
+	c := New()
+	c.Set(0, 2)
+	f := c.Freeze()
+	th := f.Thaw()
+	th.Tick(0)
+	if f.Get(0) != 2 || c.Get(0) != 2 {
+		t.Error("Thaw must not share storage with the view or its clock")
+	}
+}
+
+func TestFrozenLessOrEqual(t *testing.T) {
+	a := New()
+	a.Set(0, 1)
+	fa := a.Freeze()
+	b := a.Copy()
+	b.Tick(1)
+	fb := b.Freeze()
+	if !fa.LessOrEqual(fb) || fb.LessOrEqual(fa) {
+		t.Error("frozen ordering must match clock ordering")
+	}
+	var bottom Frozen
+	if !bottom.LessOrEqual(fa) {
+		t.Error("the zero Frozen is bottom")
+	}
+}
+
+// TestResetReusesPrivateArray pins the accumulator-recycling path: Reset of
+// an unshared clock keeps the backing array; Reset of a shared one detaches
+// without disturbing the view.
+func TestResetReusesPrivateArray(t *testing.T) {
+	c := New()
+	c.Set(3, 8)
+	c.Reset()
+	if c.Get(3) != 0 || c.Len() != 4 {
+		t.Fatalf("Reset left %s", c)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Set(3, 8)
+		c.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("private Reset cycle allocates %.1f per op, want 0", allocs)
+	}
+	c.Set(2, 5)
+	f := c.Freeze()
+	c.Reset()
+	if f.Get(2) != 5 {
+		t.Error("Reset of a shared clock must not disturb its frozen view")
+	}
+}
+
+// TestJoinPubTrailingZeroBase pins the bounds handling JoinPub needs when
+// the frozen base carries trailing zero components (a view of a Reset
+// clock keeps its length) longer than the destination grows.
+func TestJoinPubTrailingZeroBase(t *testing.T) {
+	b := New()
+	b.Set(2, 5)
+	b.Reset() // length 3, all zeros
+	f := b.Freeze()
+
+	c := New()
+	c.JoinPub(f, 0, 1) // must not index past c's grown length
+	if c.Get(0) != 1 || c.Len() != 1 {
+		t.Fatalf("JoinPub over zero base left %s", c)
+	}
+	// A covered publication whose tid lies beyond every grown component
+	// must be a no-op, not an index panic.
+	d := New()
+	d.Set(0, 3)
+	g := d.Freeze()
+	e := New()
+	e.Set(0, 9)
+	e.JoinPub(g, 5, 0)
+	if e.Get(0) != 9 || e.Len() != 1 {
+		t.Fatalf("covered JoinPub changed %s", e)
+	}
+}

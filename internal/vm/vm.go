@@ -44,6 +44,11 @@ type Options struct {
 	// the identical serial stream either way; reports are byte-identical.
 	// Negative values use event.DefaultSegmentEvents.
 	SegmentEvents int
+	// AdaptiveSegments sizes the overlap segments dynamically from
+	// observed producer/consumer stalls (event.NewSegmentedAdaptive),
+	// starting from SegmentEvents. Only meaningful with SegmentEvents != 0;
+	// reports stay byte-identical under every sizing policy.
+	AdaptiveSegments bool
 }
 
 const (
@@ -67,6 +72,15 @@ type Result struct {
 	// Memory exposes final memory for workload self-checks: word values
 	// by address.
 	Memory func(addr int64) int64
+	// SegmentStalls/Grows/Shrinks and SegmentSize report the overlap
+	// pipeline's adaptive-sizing activity (event.Segmented.SizingStats;
+	// all zero without Options.SegmentEvents). Timing-dependent — they
+	// describe the pipeline's schedule, not the detection outcome — so
+	// they live here rather than in the byte-identical detector report.
+	SegmentStalls  int64
+	SegmentGrows   int64
+	SegmentShrinks int64
+	SegmentSize    int
 }
 
 type threadState uint8
@@ -117,7 +131,14 @@ type VM struct {
 	runnable []event.Tid
 	rng      uint64
 	steps    int64
-	sink     event.Sink
+	// frameFree recycles popped call frames (and their register arrays):
+	// call-heavy workloads — every intercepted library primitive is a
+	// call — would otherwise allocate two objects per call.
+	frameFree []*frame
+	// argScratch carries spawn arguments to the child frame without a
+	// per-spawn allocation.
+	argScratch []int64
+	sink       event.Sink
 	// seg is the overlap pipeline when Options.SegmentEvents enables it;
 	// sink then points at it and Run owns its shutdown.
 	seg *event.Segmented
@@ -149,7 +170,11 @@ func New(p *ir.Program, opts Options) *VM {
 		if size < 0 {
 			size = event.DefaultSegmentEvents
 		}
-		v.seg = event.NewSegmented(opts.Sink, size)
+		if opts.AdaptiveSegments {
+			v.seg = event.NewSegmentedAdaptive(opts.Sink, size)
+		} else {
+			v.seg = event.NewSegmented(opts.Sink, size)
+		}
 		v.sink = v.seg
 	}
 	return v
@@ -175,7 +200,9 @@ func (v *VM) Run() (Result, error) {
 	res, err := v.run()
 	if v.seg != nil {
 		v.seg.Close() // drains, then flushes the downstream sink
-	} else if f, ok := v.sink.(event.Flusher); ok {
+		res.SegmentStalls, res.SegmentGrows, res.SegmentShrinks, res.SegmentSize = v.seg.SizingStats()
+	}
+	if f, ok := v.sink.(event.Flusher); ok && v.seg == nil {
 		f.Flush()
 	}
 	return res, err
@@ -245,7 +272,7 @@ func (v *VM) next() uint64 {
 func (v *VM) spawnThread(fn *ir.Func, args []int64) event.Tid {
 	tid := event.Tid(len(v.threads))
 	t := &thread{id: tid}
-	f := newFrame(fn, ir.NoReg)
+	f := v.newFrame(fn, ir.NoReg)
 	copy(f.regs, args)
 	t.frames = append(t.frames, f)
 	v.threads = append(v.threads, t)
@@ -253,8 +280,31 @@ func (v *VM) spawnThread(fn *ir.Func, args []int64) event.Tid {
 	return tid
 }
 
-func newFrame(fn *ir.Func, retDst int) *frame {
-	return &frame{fn: fn, regs: make([]int64, fn.NRegs), retDst: retDst}
+// newFrame takes a frame off the free list (zeroing the recycled register
+// window — callees may read registers they never wrote) or allocates one.
+func (v *VM) newFrame(fn *ir.Func, retDst int) *frame {
+	n := len(v.frameFree)
+	if n == 0 {
+		return &frame{fn: fn, regs: make([]int64, fn.NRegs), retDst: retDst}
+	}
+	f := v.frameFree[n-1]
+	v.frameFree = v.frameFree[:n-1]
+	regs := f.regs
+	if cap(regs) < fn.NRegs {
+		regs = make([]int64, fn.NRegs)
+	} else {
+		regs = regs[:fn.NRegs]
+		for i := range regs {
+			regs[i] = 0
+		}
+	}
+	*f = frame{fn: fn, regs: regs, retDst: retDst}
+	return f
+}
+
+// freeFrame returns a popped frame to the free list.
+func (v *VM) freeFrame(f *frame) {
+	v.frameFree = append(v.frameFree, f)
 }
 
 func (v *VM) removeRunnable(tid event.Tid) {
@@ -530,7 +580,7 @@ func (v *VM) step(t *thread) (bool, error) {
 					callee.Name, callee.NParams, len(in.Args))
 			}
 		}
-		nf := newFrame(callee, in.Dst)
+		nf := v.newFrame(callee, in.Dst)
 		for i, r := range in.Args {
 			nf.regs[i] = f.regs[r]
 		}
@@ -555,11 +605,13 @@ func (v *VM) step(t *thread) (bool, error) {
 
 	case ir.OpSpawn:
 		callee := v.prog.Funcs[in.Imm]
-		args := make([]int64, len(in.Args))
-		for i, r := range in.Args {
-			args[i] = f.regs[r]
+		// argScratch: the values are copied into the child's frame registers
+		// inside spawnThread, so a reused scratch buffer carries them.
+		v.argScratch = v.argScratch[:0]
+		for _, r := range in.Args {
+			v.argScratch = append(v.argScratch, f.regs[r])
 		}
-		child := v.spawnThread(callee, args)
+		child := v.spawnThread(callee, v.argScratch)
 		if in.Dst != ir.NoReg {
 			f.regs[in.Dst] = int64(child)
 		}
@@ -617,6 +669,7 @@ func (v *VM) returnFrom(t *thread, val int64) (bool, error) {
 	}
 	t.frames = t.frames[:len(t.frames)-1]
 	if len(t.frames) == 0 {
+		v.freeFrame(f)
 		t.retValue = val
 		t.state = stateDone
 		v.removeRunnable(t.id)
@@ -628,6 +681,7 @@ func (v *VM) returnFrom(t *thread, val int64) (bool, error) {
 	if f.retDst != ir.NoReg {
 		caller.regs[f.retDst] = val
 	}
+	v.freeFrame(f)
 	return false, nil
 }
 

@@ -1,5 +1,6 @@
 #!/bin/sh
-# bench-compare.sh — diff two BENCH_*.json perf records.
+# bench-compare.sh — diff two BENCH_*.json perf records, and gate on
+# allocation regressions.
 #
 # Usage: bench-compare.sh [old.json new.json]
 #
@@ -9,7 +10,15 @@
 # records, ns/op, B/op, and allocs/op with the relative change. Records
 # written before `make bench` passed -benchmem carry no allocation
 # columns; those cells print as "-".
+#
+# Exit status: nonzero when any benchmark's allocs/op regressed by more
+# than ALLOC_GATE_PCT percent (default 10) — allocs/op is the
+# machine-independent signal in these records, so `make bench-compare`
+# can gate a PR even on noisy single-CPU runners. Set ALLOC_GATE_PCT=off
+# to report without gating.
 set -eu
+
+ALLOC_GATE_PCT="${ALLOC_GATE_PCT:-10}"
 
 if [ $# -ge 2 ]; then
 	old="$1"
@@ -48,7 +57,7 @@ extract "$new" > /tmp/bench-compare-new.$$
 trap 'rm -f /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$' EXIT
 
 echo "bench-compare: $old -> $new"
-awk '
+awk -v gate="$ALLOC_GATE_PCT" '
 function delta(o, n) {
 	if (o == "-" || n == "-" || o + 0 == 0) return "      -"
 	return sprintf("%+6.1f%%", (n - o) * 100.0 / o)
@@ -58,10 +67,36 @@ NR == FNR { ns[$1] = $2; bop[$1] = $3; al[$1] = $4; next }
 	if (!($1 in ns)) { printf "%-40s (new benchmark, no baseline)\n", $1; next }
 	printf "%-40s ns/op %12s -> %12s %s   allocs/op %9s -> %9s %s\n",
 		$1, ns[$1], $2, delta(ns[$1], $2), al[$1], $4, delta(al[$1], $4)
+	if (gate != "off" && al[$1] != "-" && $4 != "-") {
+		# Any increase from a 0-alloc baseline is an automatic failure:
+		# 0 allocs/op benchmarks are pinned invariants, and a percent
+		# threshold cannot express a regression from zero.
+		if (al[$1] + 0 == 0 && $4 + 0 > 0) {
+			printf "bench-compare: GATE: %s allocs/op regressed from 0 to %s\n", $1, $4
+			bad = 1
+		} else if (al[$1] + 0 > 0 && ($4 - al[$1]) * 100.0 / al[$1] > gate + 0) {
+			printf "bench-compare: GATE: %s allocs/op regressed %s (> %s%%)\n",
+				$1, delta(al[$1], $4), gate
+			bad = 1
+		}
+	}
 	seen[$1] = 1
 }
-END { for (b in ns) if (!(b in seen)) printf "%-40s (dropped: present only in baseline)\n", b }
-' /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$
+END {
+	for (b in ns) if (!(b in seen)) printf "%-40s (dropped: present only in baseline)\n", b
+	# Exit 2 marks a gate failure specifically, so the caller can tell it
+	# apart from awk itself failing on malformed input.
+	if (bad) exit 2
+}
+' /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$ || awk_status=$?
+case "${awk_status:-0}" in
+0) ;;
+2) gate_failed=1 ;;
+*)
+	echo "bench-compare: failed to compare records (awk exit ${awk_status})" >&2
+	exit "$awk_status"
+	;;
+esac
 
 cat <<'EOF'
 note: single-CPU runners (this repo's CI) time the sharded (-shards) and
@@ -70,3 +105,8 @@ here is the worst case. On a multicore runner the same knobs convert that
 overhead into parallel speedup; allocs/op is the machine-independent signal
 in these records.
 EOF
+
+if [ "${gate_failed:-0}" = 1 ]; then
+	echo "bench-compare: failing: allocs/op regression beyond ${ALLOC_GATE_PCT}% (set ALLOC_GATE_PCT=off to report only)" >&2
+	exit 1
+fi
