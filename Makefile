@@ -3,7 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check ci tables
+# Pinned static-analysis tool versions (installed by CI; `make static` uses
+# whatever is already on PATH and skips what isn't — no network needed
+# locally).
+STATICCHECK_VERSION ?= 2025.1.1
+GOVULNCHECK_VERSION ?= v1.1.4
+
+.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke conformance ci tables
 
 all: build
 
@@ -50,12 +56,36 @@ vet:
 doc-check:
 	sh scripts/check-docs.sh
 
+# Static analysis: staticcheck + govulncheck at the pinned versions when
+# they are on PATH; skipped (loudly) when absent so offline checkouts
+# aren't blocked. CI installs both, so there they always run.
+static:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck $$(staticcheck -version 2>/dev/null | head -1)"; \
+		staticcheck ./...; \
+	else echo "static: staticcheck not installed, skipping (CI pins $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else echo "static: govulncheck not installed, skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
+
+# Server soak smoke: 64 concurrent synth sessions through raced under the
+# Go race detector, with goroutine-leak accounting (~30s). The full soak
+# (256 sessions) runs as part of `make race`.
+soak-smoke:
+	$(GO) test -race -count=1 -run 'TestServerSoak' ./internal/serve/ -soak-sessions=64
+
+# Server conformance: byte-identical streamed reports vs direct detect.Run
+# over the accuracy suite + synthesis corpus, swept over shards × overlap.
+# (`make test`/`make race` include it; this target is the labeled CI step.)
+conformance:
+	$(GO) test -count=1 -run 'TestServerConformance' ./internal/serve/
+
 # Everything CI runs, in CI's order. (The workflow additionally runs the
-# shard determinism tests and the representation equivalence suite — the
-# epoch-read and clock-store references, under -race — as named steps
-# before the race suite, purely so those breaks fail with their own
-# labels; `race` covers them.)
-ci: fmt-check vet doc-check build race bench fuzz-smoke
+# shard determinism tests, the representation equivalence suite — the
+# epoch-read and clock-store references, under -race — and the server
+# conformance suite as named steps before the race suite, purely so those
+# breaks fail with their own labels; `race` covers them.)
+ci: fmt-check vet doc-check static build conformance race soak-smoke bench fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

@@ -1,0 +1,141 @@
+// Command raced is the race-detection server and its CLI client.
+//
+// Server mode (default) runs detection as a service: clients open
+// sessions over a length-prefixed wire protocol (internal/serve), each
+// session gets its own detector over a process-wide compiled-workload
+// cache, and race reports stream back incrementally. SIGINT/SIGTERM
+// drains gracefully: accepting stops, admitted sessions finish, then the
+// process exits (or is forced down after -drain-timeout).
+//
+//	raced [-network tcp|unix] [-addr 127.0.0.1:7334] [-metrics 127.0.0.1:7335]
+//	      [-max-sessions 64] [-workers N] [-drain-timeout 30s]
+//
+// The metrics endpoint serves /metrics (Prometheus text), /metrics.json
+// (full snapshot with per-session gauges), and /healthz.
+//
+// Client mode (-connect) opens one session against a running server and
+// prints the streamed report — racedetect's output vocabulary, remote:
+//
+//	raced -connect 127.0.0.1:7334 -w x264 [-network tcp] [-tool spin] [-window 7]
+//	      [-seed 1] [-repeat 1] [-shards N] [-overlap] [-overlap-adaptive] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"adhocrace/internal/serve"
+	"adhocrace/internal/serve/client"
+)
+
+func main() {
+	network := flag.String("network", "tcp", "protocol listener network: tcp or unix")
+	addr := flag.String("addr", "127.0.0.1:7334", "protocol listener address (server mode)")
+	metrics := flag.String("metrics", "", "HTTP metrics address, e.g. 127.0.0.1:7335 (empty = off)")
+	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (oldest is evicted at the cap)")
+	workers := flag.Int("workers", 0, "scheduling pool size (0 = max-sessions)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before hard close")
+
+	connect := flag.String("connect", "", "client mode: server address to dial")
+	workload := flag.String("w", "", "client: workload name")
+	tool := flag.String("tool", "spin", "client: tool preset")
+	window := flag.Int("window", 7, "client: spin-loop basic-block window")
+	seed := flag.Int64("seed", 1, "client: first scheduler seed")
+	repeat := flag.Int("repeat", 1, "client: runs per session (seeds seed..seed+repeat-1)")
+	shards := flag.Int("shards", 0, "client: detector shard workers per run")
+	overlap := flag.Bool("overlap", false, "client: overlap vm execution with detection")
+	adaptive := flag.Bool("overlap-adaptive", false, "client: adaptive overlap segment sizing")
+	verbose := flag.Bool("v", false, "client: print every warning as it streams")
+	flag.Parse()
+
+	if *connect != "" {
+		runClient(*network, *connect, serve.SessionRequest{
+			Workload: *workload, Tool: *tool, Window: *window,
+			Seed: *seed, Repeat: *repeat,
+			Shards: *shards, Overlap: *overlap, AdaptiveSegments: *adaptive,
+		}, *verbose)
+		return
+	}
+
+	if *network == "unix" {
+		// A stale socket from an unclean exit blocks the bind.
+		os.Remove(*addr)
+	}
+	srv := serve.New(serve.Config{
+		Network: *network, Addr: *addr, MetricsAddr: *metrics,
+		MaxSessions: *maxSessions, Workers: *workers,
+	})
+	if err := srv.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "raced: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("raced: serving on %s %s", *network, srv.Addr())
+	if *metrics != "" {
+		fmt.Printf(", metrics on http://%s/metrics", *metrics)
+	}
+	fmt.Println()
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Printf("raced: %s, draining (budget %s)\n", sig, *drainTimeout)
+
+	// Force a hard close if the drain outlives its budget (or a second
+	// signal arrives).
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-time.After(*drainTimeout):
+			fmt.Fprintln(os.Stderr, "raced: drain budget exceeded, closing hard")
+		case <-sigs:
+			fmt.Fprintln(os.Stderr, "raced: second signal, closing hard")
+		case <-done:
+			return
+		}
+		srv.Close()
+	}()
+	srv.Drain()
+	close(done)
+	snap := srv.Snapshot()
+	fmt.Printf("raced: drained; %d sessions served (%d completed), %d runs, %d events\n",
+		snap.SessionsTotal, snap.SessionsCompleted, snap.Runs, snap.Events)
+}
+
+// runClient drives one session and prints the stream.
+func runClient(network, addr string, req serve.SessionRequest, verbose bool) {
+	c := client.New(network, addr)
+	s, err := c.Open(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raced: %v\n", err)
+		os.Exit(1)
+	}
+	defer s.Close()
+	fmt.Printf("session %d: workload %s under %s (seed %d, %d run(s))\n",
+		s.ID, req.Workload, s.Config, req.Seed, req.Repeat)
+	for {
+		fr, err := s.Next()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raced: %v\n", err)
+			os.Exit(1)
+		}
+		switch fr.Type {
+		case serve.FrameWarning:
+			if verbose {
+				w := fr.Warning
+				fmt.Printf("  run %d: %s at %s:%d addr=%d tid=%d other=%d write=%v\n",
+					w.Run, w.Kind, w.File, w.Line, w.Addr, w.Tid, w.Other, w.Write)
+			}
+		case serve.FrameResult:
+			r := fr.Result
+			fmt.Printf("  run %d (seed %d): steps=%d threads=%d events=%d warnings=%d racy contexts=%d\n",
+				r.Run, r.Seed, r.Steps, r.Threads, r.Events, r.Warnings, r.RacyContexts)
+			if r.Last {
+				return
+			}
+		}
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"adhocrace/internal/harness"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/sched"
+	"adhocrace/internal/serve"
 	"adhocrace/internal/workloads"
 )
 
@@ -66,22 +67,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cfg detect.Config
-	switch *tool {
-	case "lib":
-		cfg = detect.HelgrindPlusLib()
-	case "spin":
-		cfg = detect.HelgrindPlusLibSpin(*window)
-	case "nolib":
-		cfg = detect.HelgrindPlusNolibSpin(*window)
-	case "nolib+locks":
-		cfg = detect.HelgrindPlusNolibSpinLocks(*window)
-	case "drd":
-		cfg = detect.DRD()
-	case "eraser":
-		cfg = detect.Eraser()
-	default:
-		fmt.Fprintf(os.Stderr, "racedetect: unknown tool %q\n", *tool)
+	cfg, err := serve.ToolConfig(*tool, *window)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 		os.Exit(2)
 	}
 

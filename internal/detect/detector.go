@@ -191,6 +191,14 @@ type Detector struct {
 
 	events int64
 	ins    *spin.Instrumentation
+
+	// onWarning is RunOpts.OnWarning; streamed counts the warnings already
+	// delivered through it, so Report never re-delivers. Single-shard
+	// detectors deliver inline from shardState.warn (append order == report
+	// order); sharded ones deliver the not-yet-streamed tail when the
+	// merged report is assembled.
+	onWarning func(Warning)
+	streamed  int
 }
 
 type siteKey struct {
@@ -241,6 +249,20 @@ func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards 
 		})
 	}
 	return d
+}
+
+// setWarningObserver installs RunOpts.OnWarning. Must be called before the
+// first event; nil uninstalls.
+func (d *Detector) setWarningObserver(fn func(Warning)) {
+	d.onWarning = fn
+	if fn != nil && len(d.shards) == 1 {
+		d.shards[0].onWarn = func(w Warning) {
+			d.streamed++
+			fn(w)
+		}
+	} else if len(d.shards) == 1 {
+		d.shards[0].onWarn = nil
+	}
 }
 
 // shardOf maps an address to the shard owning its shadow line.
@@ -432,6 +454,15 @@ func (d *Detector) Report() *Report {
 	rep.SyncEpochHits = hs.EpochHits
 	rep.SyncRebases = hs.Rebases
 	rep.SyncInflates = hs.Inflates
+	if d.onWarning != nil {
+		// Deliver the warnings not yet streamed inline (all of them, for a
+		// sharded detector) in merged order, so the observed sequence always
+		// equals rep.Warnings exactly once each.
+		for _, w := range rep.Warnings[d.streamed:] {
+			d.onWarning(w)
+		}
+		d.streamed = len(rep.Warnings)
+	}
 	return rep
 }
 

@@ -7,32 +7,19 @@
 package detect_test
 
 import (
-	"fmt"
-	"strings"
 	"testing"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/harness"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/synth"
 	"adhocrace/internal/workloads/dataracetest"
 )
 
-// reportFingerprint renders everything a Report exposes except the shadow
-// accounting and the promotion counters: ShadowBytes charges what the
-// *current* representation holds (the reference keeps read history the
-// epoch layout retires), and promotions exist only in the adaptive
-// representation. Warnings — every field — and all detection counters must
-// match byte for byte.
-func reportFingerprint(rep *detect.Report) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "config=%s events=%d spinEdges=%d spinLoops=%d inferredLocks=%d\n",
-		rep.Config.Name, rep.Events, rep.SpinEdges, rep.SpinLoops, rep.InferredLockWords)
-	fmt.Fprintf(&b, "racyContexts=%d contexts=%v\n", rep.RacyContexts(), rep.ContextList())
-	for i, w := range rep.Warnings {
-		fmt.Fprintf(&b, "warning[%d]=%+v\n", i, w)
-	}
-	return b.String()
-}
+// reportFingerprint is the shared byte-identical equality bar
+// (harness.ReportFingerprint): everything a Report exposes except the
+// representation-dependent shadow accounting and counters.
+func reportFingerprint(rep *detect.Report) string { return harness.ReportFingerprint(rep) }
 
 // checkEquivalence runs one (program, config, seed) under both read
 // representations and asserts byte-identical reports.

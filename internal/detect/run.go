@@ -2,6 +2,7 @@ package detect
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"adhocrace/internal/event"
 	"adhocrace/internal/ir"
@@ -24,6 +25,26 @@ type RunOpts struct {
 	// observed pipeline stalls (vm.Options.AdaptiveSegments); reports are
 	// byte-identical under every sizing policy.
 	AdaptiveSegments bool
+
+	// OnWarning, when set, observes every warning of the run exactly once,
+	// in the final report's order — the server's incremental report stream.
+	// With a single shard the callback fires inline as warnings are
+	// appended (stream order); with more shards, warnings surface when the
+	// merged report is assembled, still in the same order. Either way the
+	// observed sequence equals Report.Warnings byte for byte. The callback
+	// runs on whichever goroutine drives detection (the vm's execution
+	// goroutine, or the overlap pipeline's consumer), so it may block —
+	// blocking is the server's backpressure — but must not call back into
+	// the detector.
+	OnWarning func(Warning)
+	// Tap, when non-nil, observes the raw event stream ahead of the
+	// detector (live progress gauges; event.AtomicCounter is the intended
+	// implementation). Called once per event on the producing goroutine.
+	Tap event.Sink
+	// Interrupt, when non-nil, aborts the run once it reads true
+	// (vm.Options.Interrupt): vm.Run returns vm.ErrInterrupted and the
+	// report covers exactly the events emitted before the stop.
+	Interrupt *atomic.Bool
 }
 
 // Overlapped returns o with the segment overlap enabled at the default
@@ -135,9 +156,15 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 	opts RunOpts, ctr *event.Counter) (*Report, vm.Result, error) {
 	d := NewSharded(cfg, ins, p, opts.Shards)
 	defer d.Close()
+	d.setWarningObserver(opts.OnWarning)
 	var sink event.Sink = d
-	if ctr != nil {
+	switch {
+	case ctr != nil && opts.Tap != nil:
+		sink = event.Multi(ctr, opts.Tap, d)
+	case ctr != nil:
 		sink = event.Multi(ctr, d)
+	case opts.Tap != nil:
+		sink = event.Multi(opts.Tap, d)
 	}
 	res, err := vm.Run(p, vm.Options{
 		Seed:             seed,
@@ -146,6 +173,7 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		Sink:             sink,
 		SegmentEvents:    opts.SegmentEvents,
 		AdaptiveSegments: opts.AdaptiveSegments,
+		Interrupt:        opts.Interrupt,
 	})
 	return d.Report(), res, err
 }

@@ -113,6 +113,10 @@ type shardState struct {
 	ref map[int64]*refWord
 
 	warnings []Warning
+	// onWarn streams warnings as they are appended — set only on a
+	// single-shard detector, where append order is report order (see
+	// Detector.setWarningObserver).
+	onWarn func(Warning)
 }
 
 func newShardState(cfg *Config, adhoc *core.Engine, stride int64) *shardState {
@@ -258,6 +262,9 @@ func (s *shardState) maybeReport(e *entry, w *shadowWord, isWrite bool, other ev
 
 func (s *shardState) warn(w Warning) {
 	s.warnings = append(s.warnings, w)
+	if s.onWarn != nil {
+		s.onWarn(w)
+	}
 }
 
 // mergeWarnings interleaves per-shard warning lists back into stream

@@ -10,7 +10,11 @@
 // instrumentation is active — spin-read and spin-exit marks.
 package event
 
-import "adhocrace/internal/ir"
+import (
+	"sync/atomic"
+
+	"adhocrace/internal/ir"
+)
 
 // Tid identifies a thread. The main thread is 0; spawned threads get
 // consecutive ids.
@@ -130,3 +134,18 @@ func (c *Counter) Handle(ev *Event) {
 	c.ByKind[ev.Kind]++
 	c.Total++
 }
+
+// AtomicCounter is the concurrency-safe sibling of Counter: a Sink whose
+// running total may be read while the stream is still being produced. The
+// race-detection server taps every session's stream with one so its metrics
+// endpoint can report live per-session progress; Counter stays the cheap
+// single-goroutine choice for post-run figures.
+type AtomicCounter struct {
+	total atomic.Int64
+}
+
+// Handle tallies the event.
+func (c *AtomicCounter) Handle(ev *Event) { c.total.Add(1) }
+
+// Total returns the events observed so far; safe concurrently with Handle.
+func (c *AtomicCounter) Total() int64 { return c.total.Load() }

@@ -3,6 +3,7 @@ package sched
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Pool is the streaming counterpart of Engine.ForEach: a set of long-lived
@@ -15,6 +16,9 @@ import (
 type Pool struct {
 	queues []chan func()
 	wg     sync.WaitGroup
+	// inflight counts, per worker, jobs submitted through SubmitBalanced
+	// that have not yet finished — the load signal balanced placement uses.
+	inflight []atomic.Int64
 
 	// panicked holds the first panic value recovered from a job, re-raised
 	// on the submitting goroutine by Check or Close. Workers recover and
@@ -36,7 +40,7 @@ func NewPool(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	p := &Pool{queues: make([]chan func(), workers)}
+	p := &Pool{queues: make([]chan func(), workers), inflight: make([]atomic.Int64, workers)}
 	for i := range p.queues {
 		q := make(chan func(), queueDepth)
 		p.queues[i] = q
@@ -74,6 +78,30 @@ func (p *Pool) Workers() int { return len(p.queues) }
 // is full.
 func (p *Pool) Submit(worker int, job func()) {
 	p.queues[worker%len(p.queues)] <- job
+}
+
+// SubmitBalanced enqueues a job on the currently least-loaded worker and
+// returns the worker chosen. Placement, not order, is the contract here —
+// jobs submitted this way are independent of each other (the server's
+// detection sessions), so the per-worker FIFO guarantee Submit callers rely
+// on is irrelevant and the pool is free to spread long-running jobs away
+// from busy queues. Load is the number of balanced jobs submitted to a
+// worker and not yet finished; the scan is racy against finishing jobs,
+// which can only make the choice stale, never wrong.
+func (p *Pool) SubmitBalanced(job func()) int {
+	best := 0
+	bestLoad := p.inflight[0].Load()
+	for i := 1; i < len(p.inflight); i++ {
+		if n := p.inflight[i].Load(); n < bestLoad {
+			best, bestLoad = i, n
+		}
+	}
+	p.inflight[best].Add(1)
+	p.queues[best] <- func() {
+		defer p.inflight[best].Add(-1)
+		job()
+	}
+	return best
 }
 
 // Check re-raises the first panic recovered from a job, if any. Callers

@@ -67,3 +67,34 @@ func TestPoolPanic(t *testing.T) {
 	}()
 	p.Close()
 }
+
+// TestSubmitBalanced checks that least-loaded placement spreads blocked
+// jobs across all workers instead of stacking one queue, and that every
+// job still runs exactly once.
+func TestSubmitBalanced(t *testing.T) {
+	const workers = 4
+	p := NewPool(workers)
+	release := make(chan struct{})
+	var started atomic.Int64
+	picked := make(map[int]bool)
+	// Each blocked job holds its worker; the next placement must pick a
+	// different (idle) one, so the first `workers` jobs cover every worker.
+	for i := 0; i < workers; i++ {
+		w := p.SubmitBalanced(func() { started.Add(1); <-release })
+		picked[w] = true
+	}
+	if len(picked) != workers {
+		t.Errorf("first %d balanced submissions used %d workers, want all", workers, len(picked))
+	}
+	// Release the holders before queuing more: the per-worker queues are
+	// bounded, so submission can block behind held workers.
+	close(release)
+	var n atomic.Int64
+	for j := 0; j < 100; j++ {
+		p.SubmitBalanced(func() { n.Add(1) })
+	}
+	p.Close()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d jobs, want 100", n.Load())
+	}
+}

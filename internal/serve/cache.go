@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/workloads"
+)
+
+// preparedCache memoizes compiled workloads process-wide: every session
+// naming the same workload shares one detect.Prepared (program + memoized
+// spin instrumentation — both immutable at run time), so repeat sessions
+// pay the build and instrumentation cost once.
+type preparedCache struct {
+	mu sync.Mutex
+	m  map[string]*detect.Prepared
+}
+
+// cacheLimit bounds the cache; the synth:<seed> namespace is unbounded, so
+// a seed sweep must not grow the server without limit. Eviction is
+// arbitrary — correctness never depends on a hit.
+const cacheLimit = 4096
+
+func newPreparedCache() *preparedCache {
+	return &preparedCache{m: make(map[string]*detect.Prepared)}
+}
+
+// get resolves a workload name to its shared Prepared, building it on the
+// first request. The build runs outside the lock (synth generation is not
+// free); concurrent first requests may both build, and the loser adopts
+// the winner's entry.
+func (c *preparedCache) get(name string) (*detect.Prepared, error) {
+	c.mu.Lock()
+	if p, ok := c.m[name]; ok {
+		c.mu.Unlock()
+		return p, nil
+	}
+	c.mu.Unlock()
+
+	build, ok := workloads.Find(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	p := detect.PrepareBuild(build)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.m[name]; ok {
+		return prev, nil
+	}
+	if len(c.m) >= cacheLimit {
+		for k := range c.m {
+			delete(c.m, k)
+			break
+		}
+	}
+	c.m[name] = p
+	return p, nil
+}

@@ -1,0 +1,149 @@
+// Package client is the Go client for the raced server (internal/serve):
+// it opens one session per connection, iterates the server's frame stream,
+// and can reassemble each run's detect.Report from the streamed warnings —
+// the object the conformance suite compares byte-for-byte against a direct
+// detect.Run.
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/serve"
+)
+
+// Client dials raced sessions on one server address.
+type Client struct {
+	network, addr string
+	// DialTimeout bounds connection setup (default 10s).
+	DialTimeout time.Duration
+}
+
+// New returns a client for the server at network/addr ("tcp" or "unix").
+func New(network, addr string) *Client {
+	return &Client{network: network, addr: addr, DialTimeout: 10 * time.Second}
+}
+
+// Session is one open detection session. Next iterates the server's
+// frames; Close abandons the session (the server notices the disconnect
+// and cancels the run).
+type Session struct {
+	// ID is the server-assigned session id (from the accepted frame).
+	ID uint64
+	// Config is the server-resolved tool configuration name.
+	Config string
+
+	conn net.Conn
+	br   *bufio.Reader
+	done bool
+}
+
+// Open dials the server, sends the request, and waits for admission. The
+// returned session must be closed.
+func (c *Client) Open(req serve.SessionRequest) (*Session, error) {
+	conn, err := net.DialTimeout(c.network, c.addr, c.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriter(conn)
+	if err := serve.WriteFrame(bw, serve.FrameRequest, &req); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s := &Session{conn: conn, br: bufio.NewReader(conn)}
+	fr, err := s.Next()
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if fr.Type != serve.FrameAccepted {
+		conn.Close()
+		return nil, fmt.Errorf("client: expected accepted frame, got %c", byte(fr.Type))
+	}
+	s.ID = fr.Accepted.SessionID
+	s.Config = fr.Accepted.Config
+	return s, nil
+}
+
+// Next reads the session's next frame. A server-side error frame is
+// returned as an error (*serve.WireError); the frame after the last run's
+// result is io.EOF territory — callers stop at Result.Last or on error.
+func (s *Session) Next() (*serve.Frame, error) {
+	fr, err := serve.ReadFrame(s.br)
+	if err != nil {
+		return nil, err
+	}
+	if fr.Type == serve.FrameError {
+		s.done = true
+		return nil, fr.Err
+	}
+	if fr.Type == serve.FrameResult && fr.Result.Last {
+		s.done = true
+	}
+	return fr, nil
+}
+
+// Close releases the connection. Closing before the terminal frame aborts
+// the session server-side.
+func (s *Session) Close() error { return s.conn.Close() }
+
+// RunOutcome is one completed run: its result frame and streamed warnings.
+type RunOutcome struct {
+	Result   serve.RunResult
+	Warnings []serve.WireWarning
+}
+
+// Report reassembles the run's detect.Report.
+func (r *RunOutcome) Report() (*detect.Report, error) {
+	return r.Result.Report(r.Warnings)
+}
+
+// Outcome is a completed session: every run, in order.
+type Outcome struct {
+	SessionID uint64
+	Config    string
+	Runs      []RunOutcome
+}
+
+// Run executes one session to completion and collects every run. On a
+// server-side error the partial outcome accompanies the error.
+func (c *Client) Run(req serve.SessionRequest) (*Outcome, error) {
+	s, err := c.Open(req)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	out := &Outcome{SessionID: s.ID, Config: s.Config}
+	var warnings []serve.WireWarning
+	for {
+		fr, err := s.Next()
+		if err != nil {
+			return out, err
+		}
+		switch fr.Type {
+		case serve.FrameWarning:
+			if fr.Warning.Run != len(out.Runs) {
+				return out, fmt.Errorf("client: warning for run %d during run %d", fr.Warning.Run, len(out.Runs))
+			}
+			warnings = append(warnings, *fr.Warning)
+		case serve.FrameResult:
+			if fr.Result.Run != len(out.Runs) {
+				return out, fmt.Errorf("client: result for run %d, expected %d", fr.Result.Run, len(out.Runs))
+			}
+			out.Runs = append(out.Runs, RunOutcome{Result: *fr.Result, Warnings: warnings})
+			warnings = nil
+			if fr.Result.Last {
+				return out, nil
+			}
+		default:
+			return out, fmt.Errorf("client: unexpected frame %c mid-session", byte(fr.Type))
+		}
+	}
+}

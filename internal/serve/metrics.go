@@ -1,0 +1,240 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"adhocrace/internal/harness"
+)
+
+// Metrics is the server's counter set: the aggregate detector statistics
+// every completed run folds into (harness.RunStats — events, shadow bytes,
+// epoch-hit rate, read-set promotions) plus session-lifecycle gauges. All
+// fields are atomics; the HTTP endpoint and tests read them live while
+// sessions run.
+type Metrics struct {
+	start time.Time
+
+	// stats aggregates detect.Report counters over completed runs.
+	stats harness.RunStats
+
+	sessionsTotal     atomic.Int64
+	sessionsActive    atomic.Int64
+	sessionsPeak      atomic.Int64
+	sessionsCompleted atomic.Int64
+	sessionsEvicted   atomic.Int64
+	sessionsDisc      atomic.Int64
+	sessionsFailed    atomic.Int64
+	sessionsRejected  atomic.Int64
+
+	warningsStreamed atomic.Int64
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// sessionStarted records an admitted session and maintains the peak gauge.
+func (m *Metrics) sessionStarted() {
+	m.sessionsTotal.Add(1)
+	n := m.sessionsActive.Add(1)
+	for {
+		peak := m.sessionsPeak.Load()
+		if n <= peak || m.sessionsPeak.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+// sessionEnded records a session's terminal outcome ("" = completed).
+func (m *Metrics) sessionEnded(code string) {
+	m.sessionsActive.Add(-1)
+	switch code {
+	case "":
+		m.sessionsCompleted.Add(1)
+	case CodeEvicted:
+		m.sessionsEvicted.Add(1)
+	case CodeDisconnected, CodeWriteStall:
+		m.sessionsDisc.Add(1)
+	default:
+		m.sessionsFailed.Add(1)
+	}
+}
+
+// SessionInfo is one live session's gauges, as exposed on the metrics
+// endpoint.
+type SessionInfo struct {
+	ID       uint64  `json:"id"`
+	Workload string  `json:"workload"`
+	Config   string  `json:"config"`
+	Seed     int64   `json:"seed"`
+	Repeat   int     `json:"repeat"`
+	RunsDone int64   `json:"runs_done"`
+	Events   int64   `json:"events"`
+	Warnings int64   `json:"warnings"`
+	Age      float64 `json:"age_seconds"`
+}
+
+// Snapshot is one consistent-enough read of every server counter — the
+// /metrics.json body and the test-facing view.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+
+	SessionsTotal        int64 `json:"sessions_total"`
+	SessionsActive       int64 `json:"sessions_active"`
+	SessionsPeak         int64 `json:"sessions_peak"`
+	SessionsCompleted    int64 `json:"sessions_completed"`
+	SessionsEvicted      int64 `json:"sessions_evicted"`
+	SessionsDisconnected int64 `json:"sessions_disconnected"`
+	SessionsFailed       int64 `json:"sessions_failed"`
+	SessionsRejected     int64 `json:"sessions_rejected"`
+
+	Runs            int64   `json:"runs"`
+	Events          int64   `json:"events"`
+	LiveEvents      int64   `json:"live_events"`
+	EventsPerSecond float64 `json:"events_per_second"`
+	ShadowBytes     int64   `json:"shadow_bytes"`
+
+	ReadSetPromotions int64 `json:"read_set_promotions"`
+	ReadSetDemotions  int64 `json:"read_set_demotions"`
+	SyncEpochHits     int64 `json:"sync_epoch_hits"`
+	SyncRebases       int64 `json:"sync_rebases"`
+	SyncInflates      int64 `json:"sync_inflates"`
+	// EpochHitRate is hits/(hits+rebases+inflates), the paper's headline
+	// sync-side compression figure.
+	EpochHitRate float64 `json:"epoch_hit_rate"`
+
+	WarningsStreamed int64 `json:"warnings_streamed"`
+
+	Sessions []SessionInfo `json:"sessions,omitempty"`
+}
+
+// Snapshot reads every counter. Runs/Events/ShadowBytes cover completed
+// runs; LiveEvents adds the event taps of in-flight sessions, so it moves
+// while a long run streams.
+func (s *Server) Snapshot() Snapshot {
+	m := s.metrics
+	snap := Snapshot{
+		UptimeSeconds:        time.Since(m.start).Seconds(),
+		Draining:             s.isDraining(),
+		SessionsTotal:        m.sessionsTotal.Load(),
+		SessionsActive:       m.sessionsActive.Load(),
+		SessionsPeak:         m.sessionsPeak.Load(),
+		SessionsCompleted:    m.sessionsCompleted.Load(),
+		SessionsEvicted:      m.sessionsEvicted.Load(),
+		SessionsDisconnected: m.sessionsDisc.Load(),
+		SessionsFailed:       m.sessionsFailed.Load(),
+		SessionsRejected:     m.sessionsRejected.Load(),
+		Runs:                 m.stats.Runs.Load(),
+		Events:               m.stats.Events.Load(),
+		ShadowBytes:          m.stats.ShadowBytes.Load(),
+		ReadSetPromotions:    m.stats.Promotions.Load(),
+		ReadSetDemotions:     m.stats.Demotions.Load(),
+		SyncEpochHits:        m.stats.EpochHits.Load(),
+		SyncRebases:          m.stats.Rebases.Load(),
+		SyncInflates:         m.stats.Inflates.Load(),
+		WarningsStreamed:     m.warningsStreamed.Load(),
+	}
+	if total := snap.SyncEpochHits + snap.SyncRebases + snap.SyncInflates; total > 0 {
+		snap.EpochHitRate = float64(snap.SyncEpochHits) / float64(total)
+	}
+
+	snap.LiveEvents = snap.Events
+	now := time.Now()
+	s.mu.Lock()
+	for _, ss := range s.sessions {
+		snap.LiveEvents += ss.tap.Total()
+		snap.Sessions = append(snap.Sessions, SessionInfo{
+			ID:       ss.id,
+			Workload: ss.req.Workload,
+			Config:   ss.cfg.Name,
+			Seed:     ss.req.Seed,
+			Repeat:   ss.req.Repeat,
+			RunsDone: ss.runsDone.Load(),
+			Events:   ss.tap.Total(),
+			Warnings: ss.warnCount.Load(),
+			Age:      now.Sub(ss.started).Seconds(),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Sessions, func(i, j int) bool { return snap.Sessions[i].ID < snap.Sessions[j].ID })
+	if snap.UptimeSeconds > 0 {
+		snap.EventsPerSecond = float64(snap.LiveEvents) / snap.UptimeSeconds
+	}
+	return snap
+}
+
+// MetricsHandler serves the metrics endpoint:
+//
+//	/metrics       counters in Prometheus text exposition format
+//	/metrics.json  the full Snapshot, including per-session gauges
+//	/healthz       200 while serving, 503 once draining
+func (s *Server) MetricsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, s.Snapshot().prometheus())
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.isDraining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// prometheus renders the snapshot in text exposition format.
+func (snap Snapshot) prometheus() string {
+	var b strings.Builder
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP raced_%s %s\n# TYPE raced_%s gauge\nraced_%s %g\n",
+			name, help, name, name, v)
+	}
+	c := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP raced_%s %s\n# TYPE raced_%s counter\nraced_%s %d\n",
+			name, help, name, name, v)
+	}
+	g("uptime_seconds", "seconds since server start", snap.UptimeSeconds)
+	c("sessions_total", "sessions admitted", snap.SessionsTotal)
+	g("sessions_active", "sessions currently running", float64(snap.SessionsActive))
+	g("sessions_peak", "maximum concurrent sessions observed", float64(snap.SessionsPeak))
+	c("sessions_completed", "sessions that ran to completion", snap.SessionsCompleted)
+	c("sessions_evicted", "sessions evicted under the session cap", snap.SessionsEvicted)
+	c("sessions_disconnected", "sessions ended by client disconnect or write stall", snap.SessionsDisconnected)
+	c("sessions_failed", "sessions ended by a run failure", snap.SessionsFailed)
+	c("sessions_rejected", "connections refused before admission", snap.SessionsRejected)
+	c("runs_total", "detector runs completed", snap.Runs)
+	c("events_total", "events detected over completed runs", snap.Events)
+	c("live_events_total", "events including in-flight sessions", snap.LiveEvents)
+	g("events_per_second", "live events over uptime", snap.EventsPerSecond)
+	c("shadow_bytes_total", "shadow bytes summed over completed runs", snap.ShadowBytes)
+	c("read_set_promotions_total", "epoch to read-set promotions", snap.ReadSetPromotions)
+	c("read_set_demotions_total", "read-set to epoch demotions", snap.ReadSetDemotions)
+	c("sync_epoch_hits_total", "clock-store release/acquire epoch hits", snap.SyncEpochHits)
+	c("sync_rebases_total", "clock-store rebases", snap.SyncRebases)
+	c("sync_inflates_total", "clock-store inflations to full vector clocks", snap.SyncInflates)
+	g("epoch_hit_rate", "epoch hits over all clock-store operations", snap.EpochHitRate)
+	c("warnings_streamed_total", "race warnings streamed to clients", snap.WarningsStreamed)
+	for _, ss := range snap.Sessions {
+		lbl := fmt.Sprintf("{id=%q,workload=%q,config=%q}", fmt.Sprint(ss.ID), ss.Workload, ss.Config)
+		fmt.Fprintf(&b, "raced_session_runs_done%s %d\n", lbl, ss.RunsDone)
+		fmt.Fprintf(&b, "raced_session_events%s %d\n", lbl, ss.Events)
+		fmt.Fprintf(&b, "raced_session_warnings%s %d\n", lbl, ss.Warnings)
+		fmt.Fprintf(&b, "raced_session_age_seconds%s %g\n", lbl, ss.Age)
+	}
+	return b.String()
+}

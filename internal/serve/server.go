@@ -1,0 +1,412 @@
+// Package serve implements raced, the race-detection server: a
+// long-running process that accepts workload requests over a
+// length-prefixed wire protocol (see protocol.go), runs each session on
+// its own detector instance over a process-wide compiled-workload cache,
+// and streams race reports back incrementally as the detector produces
+// them. Sessions are scheduled onto a sched.Pool; a configurable cap
+// bounds concurrent sessions, with evict-oldest admission when full.
+// Detection inside a session is byte-identical to a direct detect.Run —
+// the conformance suite holds the server to exactly that bar.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"adhocrace/internal/sched"
+)
+
+// Config parameterizes a Server. The zero value serves on a default TCP
+// address with library defaults for every knob.
+type Config struct {
+	// Network/Addr locate the protocol listener ("tcp" or "unix";
+	// default tcp 127.0.0.1:7334).
+	Network string
+	Addr    string
+	// MetricsAddr, when non-empty, serves the HTTP metrics endpoint
+	// (always tcp).
+	MetricsAddr string
+
+	// MaxSessions caps concurrently running sessions (default 64). At the
+	// cap, a new session evicts the oldest running one.
+	MaxSessions int
+	// Workers sizes the scheduling pool (default MaxSessions).
+	Workers int
+	// OutboxFrames bounds each session's outgoing frame queue (default
+	// 64); a full outbox is the backpressure that stalls the session's vm.
+	OutboxFrames int
+	// WriteStallTimeout declares a client dead when one frame write blocks
+	// this long (default 60s; <0 disables).
+	WriteStallTimeout time.Duration
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.Network == "" {
+		c.Network = "tcp"
+	}
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:7334"
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.MaxSessions
+	}
+	if c.OutboxFrames <= 0 {
+		c.OutboxFrames = 64
+	}
+	if c.WriteStallTimeout == 0 {
+		c.WriteStallTimeout = 60 * time.Second
+	} else if c.WriteStallTimeout < 0 {
+		c.WriteStallTimeout = 0
+	}
+	return c
+}
+
+// Server is the raced server. Create with New, serve with Start (own
+// listeners) or Serve (caller-provided listener — how tests drive it),
+// stop with Drain or Close.
+type Server struct {
+	cfg     Config
+	cache   *preparedCache
+	pool    *sched.Pool
+	metrics *Metrics
+
+	// tokens is the admission semaphore: one token per running session.
+	tokens chan struct{}
+
+	mu        sync.Mutex
+	sessions  map[uint64]*session
+	nextID    uint64
+	draining  bool
+	lns       []net.Listener
+	protoLn   net.Listener
+	metricsLn net.Listener
+	hsrv      *http.Server
+
+	// connWG tracks connection handlers; serveWG tracks accept loops and
+	// the metrics server.
+	connWG  sync.WaitGroup
+	serveWG sync.WaitGroup
+}
+
+// New builds a server; it owns a scheduling pool from construction, so
+// callers must Drain or Close it even if they never serve.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    newPreparedCache(),
+		pool:     sched.NewPool(cfg.Workers),
+		metrics:  newMetrics(),
+		tokens:   make(chan struct{}, cfg.MaxSessions),
+		sessions: make(map[uint64]*session),
+	}
+	for i := 0; i < cfg.MaxSessions; i++ {
+		s.tokens <- struct{}{}
+	}
+	return s
+}
+
+// Start listens per the config — the protocol listener, plus the metrics
+// endpoint when configured — and serves in background goroutines. It
+// returns once both listeners are bound (so Addr is valid).
+func (s *Server) Start() error {
+	ln, err := net.Listen(s.cfg.Network, s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("raced: listen %s %s: %w", s.cfg.Network, s.cfg.Addr, err)
+	}
+	s.mu.Lock()
+	s.protoLn = ln
+	s.mu.Unlock()
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		s.Serve(ln)
+	}()
+	if s.cfg.MetricsAddr != "" {
+		mln, err := net.Listen("tcp", s.cfg.MetricsAddr)
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("raced: metrics listen %s: %w", s.cfg.MetricsAddr, err)
+		}
+		hsrv := &http.Server{Handler: s.MetricsHandler()}
+		s.mu.Lock()
+		s.hsrv = hsrv
+		s.metricsLn = mln
+		s.lns = append(s.lns, mln)
+		s.mu.Unlock()
+		s.serveWG.Add(1)
+		go func() {
+			defer s.serveWG.Done()
+			hsrv.Serve(mln)
+		}()
+	}
+	return nil
+}
+
+// Addr returns the protocol listener's address (nil before Start/Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.protoLn == nil {
+		return nil
+	}
+	return s.protoLn.Addr()
+}
+
+// MetricsAddr returns the metrics listener's address (nil when no metrics
+// endpoint is configured).
+func (s *Server) MetricsAddr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.metricsLn == nil {
+		return nil
+	}
+	return s.metricsLn.Addr()
+}
+
+// Serve accepts sessions on ln until the listener closes (Drain/Close) or
+// fails. Tests hand it in-memory listeners for deterministic lifecycle
+// coverage.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("raced: server is draining")
+	}
+	s.lns = append(s.lns, ln)
+	if s.protoLn == nil {
+		s.protoLn = ln
+	}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		s.connWG.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// ActiveSessions counts registered sessions (pending or running).
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// handleConn serves one connection = one session, joining every session
+// goroutine before it returns — the no-leak invariant the lifecycle tests
+// assert.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.connWG.Done()
+	defer conn.Close()
+
+	// The request must arrive promptly; a connection that never sends one
+	// must not hold resources.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	req, err := readRequest(conn)
+	if err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeBadRequest, err.Error())
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	if err := normalize(req); err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeBadRequest, err.Error())
+		return
+	}
+	cfg, err := ToolConfig(req.Tool, req.Window)
+	if err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeBadRequest, err.Error())
+		return
+	}
+	prep, err := s.cache.get(req.Workload)
+	if err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeBadRequest, err.Error())
+		return
+	}
+
+	// Register. Under drain no new sessions start.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeDraining, "server is draining")
+		return
+	}
+	s.nextID++
+	ss := newSession(s, s.nextID, *req, cfg, prep, conn)
+	s.sessions[ss.id] = ss
+	s.mu.Unlock()
+
+	go ss.writeLoop()
+	go ss.readWatch()
+	ss.send(FrameAccepted, &Accepted{SessionID: ss.id, Workload: req.Workload, Config: cfg.Name})
+
+	if s.admit(ss) {
+		s.metrics.sessionStarted()
+		runDone := make(chan struct{})
+		s.pool.SubmitBalanced(func() {
+			defer close(runDone)
+			ss.run()
+		})
+		<-runDone
+		s.tokens <- struct{}{} // release
+		s.metrics.sessionEnded(ss.cancelCode())
+	} else {
+		// Canceled while waiting for admission (client gone or shutdown).
+		ss.setFinal(ss.cancelCode(), "session canceled before admission")
+		s.metrics.sessionsRejected.Add(1)
+	}
+
+	// Teardown: mark done (readWatch stops counting disconnects), drop the
+	// session from the registry, join the writer, close the conn (which
+	// unblocks the reader), join the reader.
+	ss.state.Store(stateDone)
+	s.mu.Lock()
+	delete(s.sessions, ss.id)
+	s.mu.Unlock()
+	close(ss.outbox)
+	<-ss.writerDone
+	conn.Close()
+	<-ss.readerDone
+}
+
+// rejectConn answers a connection that never became a session.
+func (s *Server) rejectConn(conn net.Conn, code, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	WriteFrame(conn, FrameError, &WireError{Code: code, Message: msg})
+}
+
+// normalize validates and defaults a request in place.
+func normalize(req *SessionRequest) error {
+	if req.Workload == "" {
+		return fmt.Errorf("empty workload name")
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Repeat <= 0 {
+		req.Repeat = 1
+	}
+	if req.Repeat > 1_000_000 {
+		return fmt.Errorf("repeat %d out of range", req.Repeat)
+	}
+	if req.Shards < 0 || req.Shards > 256 {
+		return fmt.Errorf("shards %d out of range", req.Shards)
+	}
+	if req.SegmentEvents < -1 || req.SegmentEvents > 1<<20 {
+		return fmt.Errorf("segment size %d out of range", req.SegmentEvents)
+	}
+	return nil
+}
+
+// admit blocks until the session holds an admission token or is canceled.
+// At the cap it evicts the oldest running session and waits for the freed
+// token — the cap stays a strict bound; the newcomer starts only after the
+// victim's run has fully stopped.
+func (s *Server) admit(ss *session) bool {
+	for {
+		select {
+		case <-s.tokens:
+			return true
+		case <-ss.cancel:
+			return false
+		default:
+		}
+		s.evictOldest()
+		select {
+		case <-s.tokens:
+			return true
+		case <-ss.cancel:
+			return false
+		}
+	}
+}
+
+// evictOldest cancels the oldest (lowest-id) running session not already
+// chosen for eviction. If every running session is already on its way out,
+// it does nothing — the caller blocks on the token those evictions will
+// free.
+func (s *Server) evictOldest() {
+	s.mu.Lock()
+	var victim *session
+	for _, ss := range s.sessions {
+		if ss.evicted || ss.state.Load() != stateRunning {
+			continue
+		}
+		if victim == nil || ss.id < victim.id {
+			victim = ss
+		}
+	}
+	if victim != nil {
+		victim.evicted = true
+	}
+	s.mu.Unlock()
+	if victim != nil {
+		victim.cancelWith(CodeEvicted)
+	}
+}
+
+// Drain stops the server gracefully: stop accepting, let every admitted
+// session run to completion, then tear down the pool and the metrics
+// endpoint. Safe to call more than once.
+func (s *Server) Drain() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.connWG.Wait()
+		return
+	}
+	s.draining = true
+	lns := s.lns
+	hsrv := s.hsrv
+	s.mu.Unlock()
+
+	for _, ln := range lns {
+		ln.Close()
+	}
+	s.connWG.Wait()
+	s.pool.Close()
+	if hsrv != nil {
+		hsrv.Close()
+	}
+	s.serveWG.Wait()
+}
+
+// Close stops the server hard: every session is canceled (clients get a
+// shutdown error frame), then the Drain path runs.
+func (s *Server) Close() {
+	s.mu.Lock()
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	for _, ss := range sessions {
+		ss.cancelWith(CodeShutdown)
+	}
+	s.Drain()
+}

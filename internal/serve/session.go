@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adhocrace/internal/detect"
+	"adhocrace/internal/event"
+	"adhocrace/internal/vm"
+)
+
+// Session lifecycle.
+//
+// Each connection carries one session, served by three goroutines:
+//
+//   - the conn handler (Server.handleConn): reads the request, admits the
+//     session under the cap, hands the run to the worker pool, and joins
+//     everything on the way out;
+//   - the writer (writeLoop): the only goroutine that writes the conn. It
+//     drains the outbox channel; the run goroutine never touches the
+//     socket, so a slow or dead client can only ever block the run at the
+//     outbox — which is exactly the backpressure chain we want: client
+//     stalls → writer blocks → outbox fills → the warning observer blocks
+//     → the vm's segmented pipeline stalls. No unbounded buffering
+//     anywhere.
+//   - the reader watch (readWatch): clients send nothing after the
+//     request, so any read result — EOF, error, or a stray byte — means
+//     the client is gone; the watch cancels the session, which flips the
+//     vm interrupt flag and unblocks any outbox send.
+//
+// Cancellation is one closed channel (cancel) plus one atomic flag (stop,
+// polled by the vm each scheduling quantum). After cancellation the writer
+// keeps draining the outbox — discarding frames — so the run goroutine can
+// never deadlock against a dead connection, and the handler can always
+// join the writer by closing the outbox.
+
+// sessionState tracks where a session is in its lifecycle (atomic).
+const (
+	statePending int32 = iota // registered, waiting for admission
+	stateRunning              // admitted, run in progress
+	stateDone                 // run finished; teardown in progress
+)
+
+// outFrame is one queued server-to-client frame.
+type outFrame struct {
+	t    FrameType
+	body any
+}
+
+type session struct {
+	id   uint64
+	srv  *Server
+	req  SessionRequest
+	cfg  detect.Config
+	prep *detect.Prepared
+	conn net.Conn
+
+	started time.Time
+	state   atomic.Int32
+
+	// outbox carries every frame to the writer; closed by the conn handler
+	// once the run goroutine has returned.
+	outbox chan outFrame
+	// final holds the terminal error frame, if any. It is a dedicated
+	// one-slot channel rather than an outbox send because the terminal
+	// frame must never be dropped by cancellation — an evicted session's
+	// client learns it was evicted from exactly this frame.
+	final chan outFrame
+
+	// cancel is closed (once) when the session should stop: client gone,
+	// evicted, server shutdown. stop is the vm-facing mirror the
+	// interpreter polls each scheduling quantum.
+	cancel     chan struct{}
+	cancelOnce sync.Once
+	stop       atomic.Bool
+	code       atomic.Pointer[string] // cancellation code (nil until canceled)
+
+	writerDone chan struct{}
+	readerDone chan struct{}
+
+	// evicted marks the session as already chosen for eviction (guarded by
+	// srv.mu), so the evict-oldest scan never picks a victim twice.
+	evicted bool
+
+	// Live gauges for the metrics endpoint.
+	tap       event.AtomicCounter
+	runsDone  atomic.Int64
+	warnCount atomic.Int64
+}
+
+func newSession(srv *Server, id uint64, req SessionRequest, cfg detect.Config,
+	prep *detect.Prepared, conn net.Conn) *session {
+	return &session{
+		id: id, srv: srv, req: req, cfg: cfg, prep: prep, conn: conn,
+		started:    time.Now(),
+		outbox:     make(chan outFrame, srv.cfg.OutboxFrames),
+		final:      make(chan outFrame, 1),
+		cancel:     make(chan struct{}),
+		writerDone: make(chan struct{}),
+		readerDone: make(chan struct{}),
+	}
+}
+
+// cancelWith stops the session: records the first cancellation code, flips
+// the vm interrupt, and unblocks every cancelable wait. Idempotent; later
+// codes lose.
+func (ss *session) cancelWith(code string) {
+	ss.cancelOnce.Do(func() {
+		c := code
+		ss.code.Store(&c)
+		ss.stop.Store(true)
+		close(ss.cancel)
+	})
+}
+
+func (ss *session) canceled() bool {
+	select {
+	case <-ss.cancel:
+		return true
+	default:
+		return false
+	}
+}
+
+// cancelCode returns the recorded cancellation code ("" if none).
+func (ss *session) cancelCode() string {
+	if p := ss.code.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// send queues one frame, giving up if the session is canceled. The block
+// on a full outbox is the protocol's backpressure.
+func (ss *session) send(t FrameType, body any) bool {
+	select {
+	case ss.outbox <- outFrame{t, body}:
+		return true
+	case <-ss.cancel:
+		return false
+	}
+}
+
+// setFinal stages the terminal error frame (first one wins).
+func (ss *session) setFinal(code, msg string) {
+	select {
+	case ss.final <- outFrame{FrameError, &WireError{Code: code, Message: msg}}:
+	default:
+	}
+}
+
+// run executes the session's Repeat runs on a pool worker. Every run gets
+// a fresh detector over the shared Prepared; warnings stream through the
+// outbox as the detector produces them, then the run's result frame.
+func (ss *session) run() {
+	ss.state.Store(stateRunning)
+	run := 0
+	opts := detect.RunOpts{
+		Shards:           ss.req.Shards,
+		SegmentEvents:    ss.req.SegmentEvents,
+		AdaptiveSegments: ss.req.AdaptiveSegments,
+		Tap:              &ss.tap,
+		Interrupt:        &ss.stop,
+		OnWarning: func(w detect.Warning) {
+			ss.warnCount.Add(1)
+			ss.srv.metrics.warningsStreamed.Add(1)
+			ss.send(FrameWarning, wireWarning(run, w))
+		},
+	}
+	if opts.SegmentEvents == 0 && (ss.req.Overlap || ss.req.AdaptiveSegments) {
+		opts.SegmentEvents = -1
+	}
+	for ; run < ss.req.Repeat; run++ {
+		if ss.canceled() {
+			ss.setFinal(ss.cancelCode(), "session canceled")
+			return
+		}
+		seed := ss.req.Seed + int64(run)
+		rep, res, err := ss.prep.Run(ss.cfg, seed, opts)
+		if err != nil {
+			if errors.Is(err, vm.ErrInterrupted) {
+				ss.setFinal(ss.cancelCode(), "session canceled mid-run")
+			} else {
+				ss.setFinal(CodeRunFailed, err.Error())
+			}
+			return
+		}
+		ss.srv.metrics.stats.Observe(rep)
+		ss.runsDone.Add(1)
+		if !ss.send(FrameResult, runResult(run, seed, rep, res, run == ss.req.Repeat-1)) {
+			ss.setFinal(ss.cancelCode(), "session canceled")
+			return
+		}
+	}
+}
+
+// writeLoop is the session's only socket writer. It drains the outbox
+// until closed, then delivers the staged terminal frame, if any. After a
+// write failure (or cancellation) it keeps draining but stops writing, so
+// producers never block on a dead connection longer than one cancel check.
+func (ss *session) writeLoop() {
+	defer close(ss.writerDone)
+	dead := false
+	for fr := range ss.outbox {
+		if dead {
+			continue
+		}
+		if err := ss.writeFrame(fr); err != nil {
+			dead = true
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				ss.cancelWith(CodeWriteStall)
+			} else {
+				ss.cancelWith(CodeDisconnected)
+			}
+		}
+	}
+	select {
+	case fr := <-ss.final:
+		if !dead {
+			// Best effort: bound the terminal write so a dead client cannot
+			// stall teardown.
+			ss.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			ss.writeFrame(fr)
+		}
+	default:
+	}
+}
+
+// writeFrame writes one frame under the configured stall budget.
+func (ss *session) writeFrame(fr outFrame) error {
+	if d := ss.srv.cfg.WriteStallTimeout; d > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	return WriteFrame(ss.conn, fr.t, fr.body)
+}
+
+// readWatch blocks on the connection until it yields anything — data after
+// the request is a protocol violation, EOF or an error means the client is
+// gone — and cancels the session. The handler closes the conn at teardown,
+// which unblocks this read; cancellation after stateDone is a no-op for
+// accounting (sessionEnded has the real outcome by then).
+func (ss *session) readWatch() {
+	defer close(ss.readerDone)
+	var buf [1]byte
+	ss.conn.Read(buf[:])
+	if ss.state.Load() != stateDone {
+		ss.cancelWith(CodeDisconnected)
+	}
+}

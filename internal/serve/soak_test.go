@@ -1,0 +1,94 @@
+// Soak: hundreds of concurrent synth sessions against one server —
+// admission, scheduling, streaming, and teardown under sustained load,
+// with zero goroutine leaks after the drain. `make soak-smoke` runs this
+// under -race with -soak-sessions=64 as the CI smoke.
+package serve_test
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"adhocrace/internal/serve"
+	"adhocrace/internal/serve/client"
+)
+
+// soakSessions overrides the session count (0 = 256, or 48 under -short).
+var soakSessions = flag.Int("soak-sessions", 0, "sessions for TestServerSoak (0 = suite default)")
+
+func TestServerSoak(t *testing.T) {
+	sessions := *soakSessions
+	if sessions == 0 {
+		sessions = 256
+		if testing.Short() {
+			sessions = 48
+		}
+	}
+	checkLeaks := leakCheck(t)
+	srv := startServer(t, serve.Config{MaxSessions: 32, OutboxFrames: 8})
+	addr := srv.Addr().String()
+
+	tools := []string{"spin", "drd"}
+	shapes := pipeShapes()
+
+	const fleet = 16
+	var next, wantRuns atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < fleet; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := client.New("tcp", addr)
+			for {
+				idx := int(next.Add(1) - 1)
+				if idx >= sessions {
+					return
+				}
+				req := serve.SessionRequest{
+					Workload: fmt.Sprintf("synth:%d", 1+idx%29),
+					Tool:     tools[idx%len(tools)],
+					Seed:     int64(1 + idx%5),
+					Repeat:   1 + idx%3,
+				}
+				shapes[idx%len(shapes)].set(&req)
+				out, err := c.Run(req)
+				if err != nil {
+					t.Errorf("session %d (%+v): %v", idx, req, err)
+					continue
+				}
+				if len(out.Runs) != req.Repeat {
+					t.Errorf("session %d: %d runs, want %d", idx, len(out.Runs), req.Repeat)
+					continue
+				}
+				for r := range out.Runs {
+					// Cross-checks streamed warnings against the result frame.
+					if _, err := out.Runs[r].Report(); err != nil {
+						t.Errorf("session %d: %v", idx, err)
+					}
+				}
+				wantRuns.Add(int64(req.Repeat))
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := srv.Snapshot()
+	if snap.SessionsCompleted != int64(sessions) {
+		t.Errorf("completed %d sessions, want %d (%+v)", snap.SessionsCompleted, sessions, snap)
+	}
+	if snap.Runs != wantRuns.Load() {
+		t.Errorf("server counted %d runs, clients saw %d", snap.Runs, wantRuns.Load())
+	}
+	if snap.Events == 0 || snap.ShadowBytes == 0 {
+		t.Errorf("aggregate stats empty after soak: %+v", snap)
+	}
+	if snap.SessionsPeak > 32 {
+		t.Errorf("peak %d concurrent sessions, cap is 32", snap.SessionsPeak)
+	}
+	t.Logf("soak: %d sessions, %d runs, %d events, peak %d concurrent",
+		snap.SessionsCompleted, snap.Runs, snap.Events, snap.SessionsPeak)
+	srv.Drain()
+	checkLeaks()
+}

@@ -12,6 +12,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"adhocrace/internal/event"
 	"adhocrace/internal/ir"
@@ -49,6 +50,12 @@ type Options struct {
 	// starting from SegmentEvents. Only meaningful with SegmentEvents != 0;
 	// reports stay byte-identical under every sizing policy.
 	AdaptiveSegments bool
+	// Interrupt, when non-nil, is polled at every scheduling point: once it
+	// reads true the run stops with ErrInterrupted. This is the server's
+	// session-cancellation hook (client disconnect, eviction, shutdown) —
+	// the flag may be set from any goroutine, and the vm notices within one
+	// scheduler quantum.
+	Interrupt *atomic.Bool
 }
 
 const (
@@ -62,6 +69,9 @@ var ErrStepLimit = errors.New("vm: step limit exceeded (livelock?)")
 
 // ErrDeadlock is returned when no thread is runnable but some are blocked.
 var ErrDeadlock = errors.New("vm: deadlock: all live threads blocked")
+
+// ErrInterrupted is returned when Options.Interrupt stopped the run.
+var ErrInterrupted = errors.New("vm: run interrupted")
 
 // Result summarizes a completed run.
 type Result struct {
@@ -220,6 +230,9 @@ func (v *VM) run() (Result, error) {
 	v.emitThread(event.KindThreadStart, 0, 0)
 
 	for {
+		if v.opts.Interrupt != nil && v.opts.Interrupt.Load() {
+			return v.result(), ErrInterrupted
+		}
 		if len(v.runnable) == 0 {
 			if v.allDone() {
 				break
