@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke conformance ci tables
+.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke memory-smoke conformance ci tables
 
 all: build
 
@@ -74,6 +74,14 @@ static:
 soak-smoke:
 	$(GO) test -race -count=1 -run 'TestServerSoak' ./internal/serve/ -soak-sessions=64
 
+# Memory smoke: the shadow-GC flat-footprint gates — the long-trace soak
+# (fails on a >2× shadow/heap plateau growth across replay windows) and
+# the 64-session server baseline (per-session memory must return to the
+# warm-up baseline).
+memory-smoke:
+	$(GO) test -count=1 -run 'TestLongTraceFlatMemory|TestLongTraceGCEquivalence' ./internal/synth/
+	$(GO) test -count=1 -run 'TestServerSoakMemoryBaseline' ./internal/serve/
+
 # Server conformance: byte-identical streamed reports vs direct detect.Run
 # over the accuracy suite + synthesis corpus, swept over shards × overlap.
 # (`make test`/`make race` include it; this target is the labeled CI step.)
@@ -85,7 +93,7 @@ conformance:
 # epoch-read and clock-store references, under -race — and the server
 # conformance suite as named steps before the race suite, purely so those
 # breaks fail with their own labels; `race` covers them.)
-ci: fmt-check vet doc-check static build conformance race soak-smoke bench fuzz-smoke
+ci: fmt-check vet doc-check static build conformance race soak-smoke memory-smoke bench fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

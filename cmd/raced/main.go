@@ -39,6 +39,7 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 64, "concurrent session cap (oldest is evicted at the cap)")
 	workers := flag.Int("workers", 0, "scheduling pool size (0 = max-sessions)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before hard close")
+	noGC := flag.Bool("no-gc-shadow", false, "disable the quiescence shadow-state GC sessions run with by default")
 
 	connect := flag.String("connect", "", "client mode: server address to dial")
 	workload := flag.String("w", "", "client: workload name")
@@ -68,6 +69,7 @@ func main() {
 	srv := serve.New(serve.Config{
 		Network: *network, Addr: *addr, MetricsAddr: *metrics,
 		MaxSessions: *maxSessions, Workers: *workers,
+		DisableShadowGC: *noGC,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "raced: %v\n", err)

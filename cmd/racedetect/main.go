@@ -52,6 +52,7 @@ func main() {
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
 	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
+	gcShadow := flag.Bool("gc-shadow", false, "retire quiescent shadow state during the run (bounded memory, identical warnings)")
 	stats := flag.Bool("stats", false, "print pipeline stats: events, events/sec, shadow bytes, read-set promotions")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
@@ -73,7 +74,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := detect.RunOpts{Shards: *shards}
+	opts := detect.RunOpts{Shards: *shards, GCShadow: *gcShadow}
 	if *adaptive {
 		*overlap = true // adaptive sizing is a property of the overlap pipeline
 	}

@@ -51,6 +51,7 @@ func main() {
 	shards := flag.Int("shards", 1, "detector shard workers per run (1 = single-threaded)")
 	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
 	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
+	gcShadow := flag.Bool("gc-shadow", false, "retire quiescent shadow state during every run (bounded memory, identical tables)")
 	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the tables")
 	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 	}
 
 	runner := harness.NewRunner(sched.Options{Workers: *workers, Sequential: *seq}).
-		WithShards(*shards).WithOverlap(*overlap).WithAdaptiveOverlap(*adaptive)
+		WithShards(*shards).WithOverlap(*overlap).WithAdaptiveOverlap(*adaptive).WithGC(*gcShadow)
 	var runStats *harness.RunStats
 	if *stats {
 		runStats = &harness.RunStats{}

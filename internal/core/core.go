@@ -284,6 +284,31 @@ func (e *Engine) OnSpinExit(ev *event.Event) {
 	}
 }
 
+// Quiesce bounds the release histories: a history dominated by the
+// quiescence watermark is emptied in place (the entry itself is kept as a
+// tombstone — OnSpinExit counts an edge whenever the entry exists, so
+// deleting it would change the reported edge counts, while joining an
+// emptied history into a live thread's clock is a no-op exactly like
+// joining the dominated history it replaced). Returns the number of
+// histories emptied. Coordinator-only, like every other mutating entry
+// point.
+func (e *Engine) Quiesce(wm vc.Frozen) int64 {
+	var dropped int64
+	for _, r := range e.release {
+		if r.owned != nil {
+			if r.owned.LessOrEqualFrozen(wm) {
+				r.owned = nil
+				r.frozen = vc.Frozen{}
+				dropped++
+			}
+		} else if r.frozen.Len() > 0 && r.frozen.LessOrEqual(wm) {
+			r.frozen = vc.Frozen{}
+			dropped++
+		}
+	}
+	return dropped
+}
+
 // Bytes approximates the engine's shadow footprint for the memory figure.
 func (e *Engine) Bytes() int64 {
 	var n int64

@@ -100,6 +100,25 @@ type Report struct {
 	SyncEpochHits int64
 	SyncRebases   int64
 	SyncInflates  int64
+	// SyncObjects counts the happens-before engine's live sync-object and
+	// barrier states at report time — the soak tests' plateau gauge.
+	SyncObjects int64
+	// GC counters (all zero unless EnableShadowGC ran; see gc.go). Like
+	// ShadowBytes and the representation counters these depend on layout
+	// and cycle timing — the report fingerprint excludes them.
+	//
+	// GCCycles counts completed GC cycles; GCWordsRetired dominated shadow
+	// words retired; GCPagesFreed shadow pages freed whole;
+	// GCReadSetsReclaimed promoted read-sets returned to the pool by
+	// retirement; GCSyncObjsRetired sync-object/barrier states the
+	// happens-before engine retired; GCHistsBounded release histories the
+	// ad-hoc engine emptied.
+	GCCycles            int64
+	GCWordsRetired      int64
+	GCPagesFreed        int64
+	GCReadSetsReclaimed int64
+	GCSyncObjsRetired   int64
+	GCHistsBounded      int64
 }
 
 // distinctContexts deduplicates the warnings' source locations and sorts
@@ -192,6 +211,14 @@ type Detector struct {
 	events int64
 	ins    *spin.Instrumentation
 
+	// Quiescence GC schedule and coordinator-side counters (see gc.go);
+	// gcEvery == 0 means the GC is off.
+	gcEvery    int64
+	nextGC     int64
+	gcCycles   int64
+	gcSyncObjs int64
+	gcHists    int64
+
 	// onWarning is RunOpts.OnWarning; streamed counts the warnings already
 	// delivered through it, so Report never re-delivers. Single-shard
 	// detectors deliver inline from shardState.warn (append order == report
@@ -238,7 +265,7 @@ func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards 
 		ins:    ins,
 	}
 	for i := range d.shards {
-		d.shards[i] = newShardState(&d.cfg, adhoc, int64(shards))
+		d.shards[i] = newShardState(&d.cfg, adhoc, int64(shards), int64(i))
 	}
 	if shards > 1 {
 		d.demux = event.NewDemux(shards, 0, func(shard int, batch []entry) {
@@ -313,8 +340,15 @@ func (d *Detector) Handle(ev *event.Event) {
 		d.adhoc.OnSpinRead(ev)
 	case event.KindSpinExit:
 		d.adhoc.OnSpinExit(ev)
-	case event.KindThreadStart, event.KindThreadExit:
-		// Thread clocks are created on demand; nothing to do.
+	case event.KindThreadStart:
+		// Lifecycle marks feed the quiescence watermark: started threads
+		// hold retirement back, exited ones stop doing so.
+		d.hb.ThreadStarted(ev.Tid)
+	case event.KindThreadExit:
+		d.hb.ThreadExited(ev.Tid)
+	}
+	if d.gcEvery > 0 && d.events >= d.nextGC {
+		d.collectGarbage()
 	}
 }
 
@@ -449,11 +483,18 @@ func (d *Detector) Report() *Report {
 	for _, s := range d.shards {
 		rep.ReadSetPromotions += s.promotions
 		rep.ReadSetDemotions += s.demotions
+		rep.GCWordsRetired += s.gcWords
+		rep.GCPagesFreed += s.gcPages
+		rep.GCReadSetsReclaimed += s.gcSets
 	}
 	hs := d.hb.Stats()
 	rep.SyncEpochHits = hs.EpochHits
 	rep.SyncRebases = hs.Rebases
 	rep.SyncInflates = hs.Inflates
+	rep.SyncObjects = d.hb.Objects()
+	rep.GCCycles = d.gcCycles
+	rep.GCSyncObjsRetired = d.gcSyncObjs
+	rep.GCHistsBounded = d.gcHists
 	if d.onWarning != nil {
 		// Deliver the warnings not yet streamed inline (all of them, for a
 		// sharded detector) in merged order, so the observed sequence always

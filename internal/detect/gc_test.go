@@ -1,0 +1,139 @@
+package detect
+
+import (
+	"testing"
+
+	"adhocrace/internal/core"
+	"adhocrace/internal/event"
+	"adhocrace/internal/hb"
+	"adhocrace/internal/vc"
+)
+
+// In-package GC unit tests: the ShadowBytes cost model must round-trip
+// through retirement (allocate → retire → reallocate lands on the same
+// figure), and the sticky suppression flags must survive a word's
+// retirement. The program-level proofs (byte-identical warnings) live in
+// the external gcequivalence_test.go / gccontract_test.go.
+
+func gcFrozen(pairs map[int]uint64) vc.Frozen {
+	c := vc.New()
+	for i, v := range pairs {
+		c.Set(i, v)
+	}
+	return c.Freeze()
+}
+
+func gcShard(cfg Config) *shardState {
+	c := cfg
+	return newShardState(&c, core.New(hb.New(), nil, nil), 1, 0)
+}
+
+// feedOrdered drives one write and two ordered reads (the second reader
+// promotes the read representation) through the shard at the given base
+// stream position.
+func feedOrdered(s *shardState, base int64) {
+	s.access(&entry{kind: event.KindWrite, tid: 1, addr: 0x40, idx: base,
+		clock: gcFrozen(map[int]uint64{1: 5})})
+	s.access(&entry{kind: event.KindRead, tid: 2, addr: 0x40, idx: base + 1,
+		clock: gcFrozen(map[int]uint64{1: 5, 2: 3})})
+	s.access(&entry{kind: event.KindRead, tid: 3, addr: 0x40, idx: base + 2,
+		clock: gcFrozen(map[int]uint64{1: 5, 3: 4})})
+}
+
+func TestShadowBytesRetireRoundTrip(t *testing.T) {
+	s := gcShard(HelgrindPlusLib())
+	feedOrdered(s, 1)
+	before := s.shadow.bytes()
+	if before == 0 {
+		t.Fatalf("expected live shadow state, got 0 bytes")
+	}
+	if s.promotions != 1 {
+		t.Fatalf("expected 1 read-set promotion, got %d", s.promotions)
+	}
+
+	s.collect(gcFrozen(map[int]uint64{0: 9, 1: 9, 2: 9, 3: 9}))
+	if got := s.shadow.bytes(); got != 0 {
+		t.Errorf("retirement must zero the accounting: got %d bytes", got)
+	}
+	if s.gcWords != 1 || s.gcPages != 1 || s.gcSets != 1 {
+		t.Errorf("gc counters = words %d pages %d sets %d, want 1 1 1",
+			s.gcWords, s.gcPages, s.gcSets)
+	}
+	if len(s.setPool) != 1 {
+		t.Errorf("retired read-set must return to the pool, pool len %d", len(s.setPool))
+	}
+
+	// Reallocate the identical state: the cost model must land exactly on
+	// the pre-retirement figure (no flags were set, so no bitmap charge).
+	feedOrdered(s, 10)
+	if got := s.shadow.bytes(); got != before {
+		t.Errorf("allocate→retire→reallocate: %d bytes, want %d", got, before)
+	}
+}
+
+func TestGCKeepsUndominatedWords(t *testing.T) {
+	s := gcShard(HelgrindPlusLib())
+	feedOrdered(s, 1)
+	before := s.shadow.bytes()
+	// Thread 3's read (tick 4) is not covered by wm[3] = 0.
+	s.collect(gcFrozen(map[int]uint64{0: 9, 1: 9, 2: 9}))
+	if s.gcWords != 0 {
+		t.Errorf("undominated word retired (%d)", s.gcWords)
+	}
+	if got := s.shadow.bytes(); got != before {
+		t.Errorf("bytes changed without retirement: %d, want %d", got, before)
+	}
+}
+
+func TestGCPreservesStickyFlags(t *testing.T) {
+	s := gcShard(HelgrindPlusLib())
+	s.access(&entry{kind: event.KindAtomicWrite, tid: 1, addr: 0x40, idx: 1,
+		clock: gcFrozen(map[int]uint64{1: 5})})
+	w := s.shadow.word(0x40)
+	if !w.atomicEver {
+		t.Fatalf("atomic access must set atomicEver")
+	}
+	w.suspected = true
+	w.reported = true
+
+	s.collect(gcFrozen(map[int]uint64{0: 9, 1: 9}))
+	if s.gcWords != 1 {
+		t.Fatalf("flagged dominated word not retired")
+	}
+	w = s.shadow.word(0x40)
+	if !w.atomicEver || !w.suspected || !w.reported {
+		t.Errorf("sticky flags lost across retirement: atomicEver=%v suspected=%v reported=%v",
+			w.atomicEver, w.suspected, w.reported)
+	}
+	// The bitmap side table is charged, so accounting still round-trips
+	// (word cost + one retired-flags page entry).
+	if got := s.shadow.bytes(); got <= 0 {
+		t.Errorf("retired-flag bitmap must be charged, got %d", got)
+	}
+}
+
+func TestGCForgetsHybridLocksetVars(t *testing.T) {
+	s := gcShard(HelgrindPlusLib())
+	s.access(&entry{kind: event.KindWrite, tid: 1, addr: 0x40, idx: 1,
+		clock: gcFrozen(map[int]uint64{1: 5})})
+	if s.locks.VarState(0x40) == nil {
+		t.Fatalf("hybrid access must create lockset var state")
+	}
+	s.collect(gcFrozen(map[int]uint64{0: 9, 1: 9}))
+	if s.locks.VarState(0x40) != nil {
+		t.Errorf("hybrid lockset var must be forgotten on retirement")
+	}
+}
+
+func TestGCSkipsEraserLocksetVars(t *testing.T) {
+	s := gcShard(Eraser())
+	s.access(&entry{kind: event.KindWrite, tid: 1, addr: 0x40, idx: 1,
+		clock: gcFrozen(map[int]uint64{1: 5})})
+	if s.locks.VarState(0x40) == nil {
+		t.Fatalf("Eraser access must create lockset var state")
+	}
+	s.collect(gcFrozen(map[int]uint64{0: 9, 1: 9}))
+	if s.locks.VarState(0x40) == nil {
+		t.Errorf("Eraser lockset state is the report; the GC must not forget it")
+	}
+}

@@ -26,6 +26,17 @@ type RunOpts struct {
 	// byte-identical under every sizing policy.
 	AdaptiveSegments bool
 
+	// GCShadow enables the quiescence shadow-state GC (see gc.go): shadow
+	// words, read-sets, sync objects, and release histories dominated by
+	// every live thread's clock are retired during the run. Warnings stay
+	// byte-identical to the unbounded detector (the equivalence suite's
+	// bar); ShadowBytes and the representation counters reflect the
+	// retirement — that bounded footprint is the point.
+	GCShadow bool
+	// GCEvents sets the GC cycle period in events (0 means
+	// DefaultGCEvents). Only meaningful with GCShadow.
+	GCEvents int64
+
 	// OnWarning, when set, observes every warning of the run exactly once,
 	// in the final report's order — the server's incremental report stream.
 	// With a single shard the callback fires inline as warnings are
@@ -156,6 +167,9 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 	opts RunOpts, ctr *event.Counter) (*Report, vm.Result, error) {
 	d := NewSharded(cfg, ins, p, opts.Shards)
 	defer d.Close()
+	if opts.GCShadow {
+		d.EnableShadowGC(opts.GCEvents)
+	}
 	d.setWarningObserver(opts.OnWarning)
 	var sink event.Sink = d
 	switch {

@@ -47,14 +47,47 @@ type shadowMem struct {
 	// correctness needs; it exists so N shards allocate about as many
 	// pages together as one detector would alone.
 	stride int64
+	// shardIdx is this table's shard index under the stride remap; with
+	// stride it inverts the word remap (addrOf), which the GC needs to
+	// forget lockset variables keyed by original byte address.
+	shardIdx int64
+	// retired preserves the sticky suppression flags of GC-retired words,
+	// per page key; nil until the GC first retires a flagged word. See
+	// gc.go.
+	retired map[int64]*retiredFlags
 }
 
-func newShadowMem() *shadowMem { return newShadowMemStride(1) }
+func newShadowMem() *shadowMem { return newShadowMemStride(1, 0) }
 
-// newShadowMemStride builds the shadow table of a shard owning every
-// stride-th shadow line.
-func newShadowMemStride(stride int64) *shadowMem {
-	return &shadowMem{pages: make(map[int64]*shadowPage), stride: stride}
+// newShadowMemStride builds the shadow table of the shard with the given
+// index among stride shards (it owns every stride-th shadow line).
+func newShadowMemStride(stride, shardIdx int64) *shadowMem {
+	return &shadowMem{pages: make(map[int64]*shadowPage), stride: stride, shardIdx: shardIdx}
+}
+
+// retiredOf returns (allocating on demand) the retired-flag bitmap of the
+// given page key.
+func (s *shadowMem) retiredOf(key int64) *retiredFlags {
+	if s.retired == nil {
+		s.retired = make(map[int64]*retiredFlags)
+	}
+	rf := s.retired[key]
+	if rf == nil {
+		rf = &retiredFlags{}
+		s.retired[key] = rf
+	}
+	return rf
+}
+
+// addrOf inverts word: the original byte address of word i of the page
+// with the given key, undoing the stride remap.
+func (s *shadowMem) addrOf(key int64, i int) int64 {
+	wi := key<<pageWordShift | int64(i)
+	if s.stride > 1 {
+		line := wi >> shardLineShift
+		wi = (line*s.stride+s.shardIdx)<<shardLineShift | (wi & shardLineMask)
+	}
+	return wi << addrWordShift
 }
 
 // word returns the shadow word for a byte address, allocating its page on
@@ -75,10 +108,18 @@ func (s *shadowMem) word(addr int64) *shadowWord {
 		}
 		s.lastKey, s.lastPage = key, pg
 	}
-	w := &pg.words[wi&pageWordMask]
+	i := int(wi & pageWordMask)
+	w := &pg.words[i]
 	if !w.live {
 		w.live = true
 		pg.live++
+		if s.retired != nil {
+			// A retired word coming back into use recovers its sticky
+			// suppression flags, so retirement stays output-invisible.
+			if rf := s.retired[key]; rf != nil {
+				rf.restore(i, w)
+			}
+		}
 	}
 	return w
 }
@@ -96,7 +137,11 @@ func (s *shadowMem) word(addr int64) *shadowWord {
 // (demoted read-sets) is no longer charged — that shrinkage is precisely
 // the layout's saving.
 func (s *shadowMem) bytes() int64 {
-	var n int64
+	// Retired-flag bitmaps are real residency and are charged (3 bitmaps
+	// of pageWords bits plus the map entry), so retirement accounting
+	// round-trips honestly: allocate → retire → reallocate returns to the
+	// same figure.
+	n := int64(len(s.retired)) * (3*(pageWords/8) + 48)
 	for _, pg := range s.pages {
 		for i := range pg.words {
 			w := &pg.words[i]

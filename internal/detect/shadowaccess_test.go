@@ -15,7 +15,7 @@ import (
 // access() directly, below the event plumbing.
 func benchShard(cfg Config) *shardState {
 	c := cfg
-	return newShardState(&c, core.New(hb.New(), nil, nil), 1)
+	return newShardState(&c, core.New(hb.New(), nil, nil), 1, 0)
 }
 
 func readEntryFor(tid event.Tid, addr int64, clock *vc.Clock, idx int64) entry {

@@ -106,6 +106,9 @@ type shardState struct {
 	// promotions / demotions count read-representation transitions, summed
 	// into the Report.
 	promotions, demotions int64
+	// gcWords / gcPages / gcSets count this shard's GC retirements (see
+	// gc.go), summed into the Report.
+	gcWords, gcPages, gcSets int64
 
 	// ref, when non-nil, carries the seed full-vector-clock read-side
 	// state instead of the adaptive epochs — the reference mode of the
@@ -119,11 +122,11 @@ type shardState struct {
 	onWarn func(Warning)
 }
 
-func newShardState(cfg *Config, adhoc *core.Engine, stride int64) *shardState {
+func newShardState(cfg *Config, adhoc *core.Engine, stride, shardIdx int64) *shardState {
 	s := &shardState{
 		cfg:          cfg,
 		adhoc:        adhoc,
-		shadow:       newShadowMemStride(stride),
+		shadow:       newShadowMemStride(stride, shardIdx),
 		locks:        lockset.NewTracker(),
 		reportedSite: make(map[siteKey]bool),
 	}
@@ -137,6 +140,12 @@ func newShardState(cfg *Config, adhoc *core.Engine, stride int64) *shardState {
 // demuxed access — the code the sequential detector runs inline, minus the
 // coordinator-owned ad-hoc release bookkeeping (core.Engine.OnWrite).
 func (s *shardState) access(e *entry) {
+	if e.kind == gcEntryKind {
+		// A demuxed GC mark: collect at this position of the shard's
+		// stream. The entry's clock carries the watermark.
+		s.collect(e.clock)
+		return
+	}
 	isWrite := e.kind.IsWrite()
 	isAtomic := e.kind.IsAtomic()
 

@@ -49,6 +49,9 @@ type Runner struct {
 	// adaptive sizes the overlap segments from observed pipeline stalls
 	// (detect.RunOpts.AdaptiveSegments).
 	adaptive bool
+	// gc runs every detector with the quiescence shadow-state GC
+	// (detect.RunOpts.GCShadow); table output is byte-identical either way.
+	gc bool
 	// stats, when set, accumulates detector counters across every run.
 	stats *RunStats
 }
@@ -84,6 +87,13 @@ func (r *Runner) WithAdaptiveOverlap(on bool) *Runner {
 	return r
 }
 
+// WithGC toggles the quiescence shadow-state GC for every run; table
+// output is byte-identical either way, only the memory counters move.
+func (r *Runner) WithGC(on bool) *Runner {
+	r.gc = on
+	return r
+}
+
 // WithStats attaches a stats accumulator observing every run's report.
 func (r *Runner) WithStats(s *RunStats) *Runner {
 	r.stats = s
@@ -100,7 +110,7 @@ func (r *Runner) runShards() int {
 
 // runOpts is the pipeline shape every detector job of this runner uses.
 func (r *Runner) runOpts() detect.RunOpts {
-	opts := detect.RunOpts{Shards: r.runShards()}
+	opts := detect.RunOpts{Shards: r.runShards(), GCShadow: r.gc}
 	if r.overlap {
 		opts = opts.Overlapped()
 		opts.AdaptiveSegments = r.adaptive

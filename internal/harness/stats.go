@@ -27,6 +27,11 @@ type RunStats struct {
 	EpochHits atomic.Int64
 	Rebases   atomic.Int64
 	Inflates  atomic.Int64
+	// Shadow-GC counters (detect/gc.go, summed over runs): quiescence
+	// cycles and what they retired.
+	GCCycles       atomic.Int64
+	GCWordsRetired atomic.Int64
+	GCSyncRetired  atomic.Int64
 }
 
 // Observe folds one run's report into the totals.
@@ -42,6 +47,9 @@ func (s *RunStats) Observe(rep *detect.Report) {
 	s.EpochHits.Add(rep.SyncEpochHits)
 	s.Rebases.Add(rep.SyncRebases)
 	s.Inflates.Add(rep.SyncInflates)
+	s.GCCycles.Add(rep.GCCycles)
+	s.GCWordsRetired.Add(rep.GCWordsRetired)
+	s.GCSyncRetired.Add(rep.GCSyncObjsRetired)
 }
 
 // Footer renders the stats block printed under a table run. elapsed is the
@@ -61,5 +69,9 @@ func (s *RunStats) Footer(elapsed time.Duration) string {
 		fmt.Fprintf(&b, " (%.1f%% epoch-hit rate)", 100*float64(hits)/float64(total))
 	}
 	fmt.Fprintln(&b)
+	if cycles := s.GCCycles.Load(); cycles > 0 {
+		fmt.Fprintf(&b, "stats: shadow-gc cycles %d, words retired %d, sync objects retired %d\n",
+			cycles, s.GCWordsRetired.Load(), s.GCSyncRetired.Load())
+	}
 	return b.String()
 }

@@ -60,6 +60,32 @@ type Engine interface {
 	// by the destruction events of intercepted libraries; without it a
 	// long-running execution's object table only ever grows.
 	ForgetObject(obj int64)
+	// ThreadStarted marks thread t live. Threads are live by default from
+	// first use; the call matters when a tid is reused across replayed
+	// windows of a long trace — it clears the exited mark so the thread
+	// counts toward the quiescence watermark again.
+	ThreadStarted(t event.Tid)
+	// ThreadExited marks thread t exited. Exited threads drop out of the
+	// quiescence watermark (their clocks stop holding retirement back), and
+	// Quiesce may free their clock storage once it is dominated.
+	ThreadExited(t event.Tid)
+	// Watermark returns the quiescence watermark: the pointwise minimum of
+	// every live thread's clock, always including thread 0's (the main
+	// thread restarts across replayed windows without a spawn edge, so its
+	// clock must keep holding retirement back even while it is exited). Any
+	// epoch (t, k) with k <= wm[t] happens-before every event any thread
+	// can still perform. Bottom when no thread has a clock yet.
+	Watermark() vc.Frozen
+	// Quiesce retires engine state dominated by the watermark: sync objects
+	// whose published clock is <= wm (an inflated object retired this way
+	// re-localizes — the next release restarts it on the epoch path), idle
+	// barrier generations, and the clocks of exited non-main threads once
+	// dominated (recreated on demand, provably with identical observable
+	// values). Returns the number of sync objects retired.
+	Quiesce(wm vc.Frozen) int64
+	// Objects counts live sync-object and barrier states — the soak tests'
+	// plateau gauge.
+	Objects() int64
 	// Stats returns the engine's representation counters (zero for the
 	// reference engine).
 	Stats() Stats
@@ -124,13 +150,20 @@ type barrierState struct {
 // touch no barriers, and lib-less configurations touch no sync objects at
 // all.
 type store struct {
-	threads  []*vc.Clock
+	threads []*vc.Clock
+	// exited marks threads whose ThreadExit was seen; they drop out of the
+	// watermark, and Quiesce may free their clocks (recreated on demand).
+	exited   []bool
 	objs     map[int64]*objState
 	barriers map[int64]*barrierState
 	stats    Stats
 }
 
-// ClockOf returns the clock of thread t, creating it on first use.
+// ClockOf returns the clock of thread t, creating it on first use. A slot
+// freed by Quiesce is recreated the same way — sound because Quiesce only
+// frees clocks dominated by the watermark, so a fresh clock joined through
+// any live parent reproduces the exact values the retained clock would
+// have produced.
 func (e *store) ClockOf(t event.Tid) *vc.Clock {
 	i := int(t)
 	for len(e.threads) <= i {
@@ -138,7 +171,80 @@ func (e *store) ClockOf(t event.Tid) *vc.Clock {
 		fresh.Tick(len(e.threads)) // each thread starts with its own component at 1
 		e.threads = append(e.threads, fresh)
 	}
+	if e.threads[i] == nil {
+		fresh := vc.New()
+		fresh.Tick(i)
+		e.threads[i] = fresh
+	}
 	return e.threads[i]
+}
+
+func (e *store) ThreadStarted(t event.Tid) {
+	e.ClockOf(t)
+	if int(t) < len(e.exited) {
+		e.exited[t] = false
+	}
+}
+
+func (e *store) ThreadExited(t event.Tid) {
+	i := int(t)
+	for len(e.exited) <= i {
+		e.exited = append(e.exited, false)
+	}
+	e.exited[i] = true
+}
+
+func (e *store) Watermark() vc.Frozen {
+	views := make([]vc.Frozen, 0, len(e.threads))
+	for i, c := range e.threads {
+		if c == nil {
+			continue
+		}
+		if i == 0 || i >= len(e.exited) || !e.exited[i] {
+			views = append(views, c.Freeze())
+		}
+	}
+	return vc.MeetFrozen(views)
+}
+
+func (e *store) Quiesce(wm vc.Frozen) int64 {
+	var retired int64
+	for obj, s := range e.objs {
+		dominated := false
+		if s.full != nil {
+			dominated = s.full.LessOrEqualFrozen(wm)
+		} else {
+			dominated = s.tick <= wm.Get(int(s.owner)) && s.base.LessOrEqual(wm)
+		}
+		if dominated {
+			delete(e.objs, obj)
+			retired++
+		}
+	}
+	for obj, b := range e.barriers {
+		// Between generations the barrier holds no ordering at all —
+		// arrive on a missing state recreates exactly this empty state, so
+		// idle generations retire unconditionally.
+		if b.arrivals == 0 && b.leaves == 0 {
+			delete(e.barriers, obj)
+			retired++
+		}
+	}
+	// Never free thread 0: main restarts across replayed windows via
+	// ThreadStart without a spawn edge, so its clock is the only carrier of
+	// tick continuity for tid 0. Every other tid is recreated through
+	// Spawn, which joins a live parent's clock (>= wm by monotonicity).
+	for i := 1; i < len(e.threads) && i < len(e.exited); i++ {
+		c := e.threads[i]
+		if c != nil && e.exited[i] && c.LessOrEqualFrozen(wm) {
+			e.threads[i] = nil
+		}
+	}
+	return retired
+}
+
+func (e *store) Objects() int64 {
+	return int64(len(e.objs) + len(e.barriers))
 }
 
 func (e *store) Spawn(parent, child event.Tid) {

@@ -1,0 +1,139 @@
+package hb
+
+import (
+	"testing"
+
+	"adhocrace/internal/event"
+)
+
+// Watermark/Quiesce semantics, pinned identically for both engines: the
+// meet runs over live threads plus — always — thread 0 (the main thread
+// restarts across replayed trace windows without a spawn edge), dominated
+// sync objects retire, and exited non-main thread clocks are freed and
+// recreated on demand with identical observable values.
+
+func TestWatermarkEmpty(t *testing.T) {
+	for name, mk := range engines() {
+		e := mk()
+		if wm := e.Watermark(); wm.Len() != 0 {
+			t.Errorf("%s: empty engine watermark = %v, want bottom", name, wm)
+		}
+	}
+}
+
+func TestWatermarkMeetAndExit(t *testing.T) {
+	for name, mk := range engines() {
+		e := mk()
+		e.ThreadStarted(0)
+		e.Spawn(0, 1)
+		e.ThreadStarted(1)
+		e.Spawn(0, 2)
+		e.ThreadStarted(2)
+		// Thread 1 knows nothing of thread 2's progress, so the meet's
+		// component 2 is held at what 1 inherited.
+		wm := e.Watermark()
+		for i := 0; i < 3; i++ {
+			min := e.Snapshot(0).Get(i)
+			for tid := 1; tid < 3; tid++ {
+				if v := e.Snapshot(event.Tid(tid)).Get(i); v < min {
+					min = v
+				}
+			}
+			if wm.Get(i) != min {
+				t.Errorf("%s: wm[%d] = %d, want meet %d", name, i, wm.Get(i), min)
+			}
+		}
+
+		// Thread 2 exits and is joined: it stops holding the meet down.
+		e.ThreadExited(2)
+		e.Join(0, 2)
+		low := e.Watermark()
+		if got, want := low.Get(2), e.Snapshot(1).Get(2); got != want {
+			t.Errorf("%s: after exit, wm[2] = %d, want live meet %d", name, got, want)
+		}
+
+		// Main exiting must NOT release its clock from the meet: tid 0 is
+		// pinned (it restarts across windows without a spawn edge).
+		e.ThreadExited(0)
+		e.ThreadExited(1)
+		wm = e.Watermark()
+		if got, want := wm.Get(0), e.Snapshot(0).Get(0); got != want {
+			t.Errorf("%s: exited main dropped from watermark: wm[0] = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestQuiesceRetiresDominatedObjects(t *testing.T) {
+	for name, mk := range engines() {
+		e := mk()
+		e.ThreadStarted(0)
+		e.Spawn(0, 1)
+		e.Release(1, 0x100)
+		e.Release(1, 0x200)
+		if got := e.Objects(); got != 2 {
+			t.Fatalf("%s: objects = %d, want 2", name, got)
+		}
+		// Nothing dominated while thread 1's releases are unjoined.
+		if n := e.Quiesce(e.Watermark()); n != 0 {
+			t.Errorf("%s: retired %d objects below the watermark", name, n)
+		}
+		e.ThreadExited(1)
+		e.Join(0, 1)
+		if n := e.Quiesce(e.Watermark()); n != 2 {
+			t.Errorf("%s: retired %d objects after join, want 2", name, n)
+		}
+		if got := e.Objects(); got != 0 {
+			t.Errorf("%s: objects = %d after quiesce, want 0", name, got)
+		}
+		// An acquire of a retired object is a no-op, exactly like acquiring
+		// its dominated publication would have been.
+		before := e.Snapshot(0)
+		e.Acquire(0, 0x100)
+		after := e.Snapshot(0)
+		for i := 0; i < after.Len(); i++ {
+			if before.Get(i) != after.Get(i) {
+				t.Errorf("%s: acquire of retired object changed clock[%d]", name, i)
+			}
+		}
+	}
+}
+
+func TestQuiesceRetiresIdleBarriers(t *testing.T) {
+	for name, mk := range engines() {
+		e := mk()
+		e.ThreadStarted(0)
+		e.Spawn(0, 1)
+		e.BarrierArrive(0, 0x300)
+		e.BarrierArrive(1, 0x300)
+		// Mid-generation: must not retire.
+		if n := e.Quiesce(e.Watermark()); n != 0 {
+			t.Errorf("%s: retired %d mid-generation", name, n)
+		}
+		e.BarrierLeave(0, 0x300)
+		e.BarrierLeave(1, 0x300)
+		if n := e.Quiesce(e.Watermark()); n != 1 {
+			t.Errorf("%s: idle barrier not retired (%d)", name, n)
+		}
+	}
+}
+
+func TestQuiesceFreesExitedThreadClocks(t *testing.T) {
+	for name, mk := range engines() {
+		e := mk()
+		e.ThreadStarted(0)
+		e.Spawn(0, 1)
+		e.ThreadStarted(1)
+		tick := e.Snapshot(1).Get(1)
+		e.ThreadExited(1)
+		e.Join(0, 1)
+		e.Quiesce(e.Watermark())
+		// Tid 1 reused: spawn recreates the clock through the live parent;
+		// the own component continues past the joined tick exactly as the
+		// retained clock would have (parent holds it at >= tick).
+		e.Spawn(0, 1)
+		e.ThreadStarted(1)
+		if got := e.Snapshot(1).Get(1); got != tick+1 {
+			t.Errorf("%s: recreated tid 1 own tick = %d, want %d", name, got, tick+1)
+		}
+	}
+}

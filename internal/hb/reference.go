@@ -35,6 +35,7 @@ type refSnap struct {
 
 type reference struct {
 	threads  []*vc.Clock
+	exited   []bool
 	objs     map[int64]*vc.Clock
 	barriers map[int64]*refBarrier
 	// snaps memoizes Snapshot per thread, keyed by the clock's version —
@@ -50,7 +51,72 @@ func (e *reference) ClockOf(t event.Tid) *vc.Clock {
 		fresh.Tick(len(e.threads))
 		e.threads = append(e.threads, fresh)
 	}
+	if e.threads[i] == nil {
+		fresh := vc.New()
+		fresh.Tick(i)
+		e.threads[i] = fresh
+	}
 	return e.threads[i]
+}
+
+func (e *reference) ThreadStarted(t event.Tid) {
+	e.ClockOf(t)
+	if int(t) < len(e.exited) {
+		e.exited[t] = false
+	}
+}
+
+func (e *reference) ThreadExited(t event.Tid) {
+	i := int(t)
+	for len(e.exited) <= i {
+		e.exited = append(e.exited, false)
+	}
+	e.exited[i] = true
+}
+
+func (e *reference) Watermark() vc.Frozen {
+	views := make([]vc.Frozen, 0, len(e.threads))
+	for i, c := range e.threads {
+		if c == nil {
+			continue
+		}
+		if i == 0 || i >= len(e.exited) || !e.exited[i] {
+			views = append(views, c.Freeze())
+		}
+	}
+	return vc.MeetFrozen(views)
+}
+
+func (e *reference) Quiesce(wm vc.Frozen) int64 {
+	var retired int64
+	for obj, c := range e.objs {
+		if c.LessOrEqualFrozen(wm) {
+			delete(e.objs, obj)
+			retired++
+		}
+	}
+	for obj, b := range e.barriers {
+		if b.arrivals == 0 && b.leaves == 0 {
+			delete(e.barriers, obj)
+			retired++
+		}
+	}
+	for i := 1; i < len(e.threads) && i < len(e.exited); i++ {
+		c := e.threads[i]
+		if c != nil && e.exited[i] && c.LessOrEqualFrozen(wm) {
+			e.threads[i] = nil
+			if i < len(e.snaps) {
+				// A recreated clock restarts its version counter, so a
+				// memoized snapshot for the freed clock could alias it.
+				e.snaps[i] = refSnap{}
+			}
+		}
+	}
+	return retired
+}
+
+func (e *reference) Objects() int64 {
+	return int64(len(e.objs) + len(e.barriers))
 }
 
 func (e *reference) Spawn(parent, child event.Tid) {

@@ -270,6 +270,13 @@ func (tr *Tracker) AccessWith(t event.Tid, addr int64, isWrite bool, held Set) (
 // VarState returns the Eraser shadow of addr, or nil if never accessed.
 func (tr *Tracker) VarState(addr int64) *Var { return tr.vars[addr] }
 
+// ForgetVar drops the per-variable state of addr, if any. The shadow-state
+// GC calls it for retired addresses of tools that discard AccessWith's
+// verdict (the hybrid configurations track locksets for classification
+// only, so restarting a variable's state machine from Virgin is
+// unobservable); Eraser, whose variable state is the report, never forgets.
+func (tr *Tracker) ForgetVar(addr int64) { delete(tr.vars, addr) }
+
 // Bytes approximates the tracker's footprint for the memory figure.
 func (tr *Tracker) Bytes() int64 { return tr.HeldBytes() + tr.VarBytes() }
 

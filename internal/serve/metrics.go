@@ -110,6 +110,10 @@ type Snapshot struct {
 	// sync-side compression figure.
 	EpochHitRate float64 `json:"epoch_hit_rate"`
 
+	GCCycles          int64 `json:"gc_cycles"`
+	GCWordsRetired    int64 `json:"gc_words_retired"`
+	GCSyncObjsRetired int64 `json:"gc_sync_objs_retired"`
+
 	WarningsStreamed int64 `json:"warnings_streamed"`
 
 	Sessions []SessionInfo `json:"sessions,omitempty"`
@@ -228,6 +232,9 @@ func (snap Snapshot) prometheus() string {
 	c("sync_rebases_total", "clock-store rebases", snap.SyncRebases)
 	c("sync_inflates_total", "clock-store inflations to full vector clocks", snap.SyncInflates)
 	g("epoch_hit_rate", "epoch hits over all clock-store operations", snap.EpochHitRate)
+	c("gc_cycles_total", "shadow-gc quiescence cycles run", snap.GCCycles)
+	c("gc_words_retired_total", "shadow words retired by the gc", snap.GCWordsRetired)
+	c("gc_sync_objs_retired_total", "happens-before sync objects retired by the gc", snap.GCSyncObjsRetired)
 	c("warnings_streamed_total", "race warnings streamed to clients", snap.WarningsStreamed)
 	for _, ss := range snap.Sessions {
 		lbl := fmt.Sprintf("{id=%q,workload=%q,config=%q}", fmt.Sprint(ss.ID), ss.Workload, ss.Config)

@@ -254,6 +254,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"raced_sessions_completed 1", "raced_runs_total 1",
 		"raced_events_total", "raced_epoch_hit_rate", "raced_shadow_bytes_total",
 		"raced_read_set_promotions_total", "raced_warnings_streamed_total",
+		"raced_gc_cycles_total", "raced_gc_words_retired_total",
+		"raced_gc_sync_objs_retired_total",
 	} {
 		if !containsLine(body, want) {
 			t.Errorf("/metrics missing %q\n%s", want, body)

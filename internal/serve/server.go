@@ -41,6 +41,13 @@ type Config struct {
 	// WriteStallTimeout declares a client dead when one frame write blocks
 	// this long (default 60s; <0 disables).
 	WriteStallTimeout time.Duration
+
+	// DisableShadowGC turns off the quiescence shadow-state GC
+	// (detect.RunOpts.GCShadow) that sessions otherwise run with. The GC is
+	// on by default because a long-lived server is exactly the deployment
+	// whose shadow state must stay bounded; reports are byte-identical
+	// either way.
+	DisableShadowGC bool
 }
 
 // withDefaults fills unset knobs.

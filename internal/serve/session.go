@@ -163,6 +163,7 @@ func (ss *session) run() {
 		Shards:           ss.req.Shards,
 		SegmentEvents:    ss.req.SegmentEvents,
 		AdaptiveSegments: ss.req.AdaptiveSegments,
+		GCShadow:         !ss.srv.cfg.DisableShadowGC,
 		Tap:              &ss.tap,
 		Interrupt:        &ss.stop,
 		OnWarning: func(w detect.Warning) {

@@ -7,6 +7,7 @@ package serve_test
 import (
 	"flag"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -89,6 +90,52 @@ func TestServerSoak(t *testing.T) {
 	}
 	t.Logf("soak: %d sessions, %d runs, %d events, peak %d concurrent",
 		snap.SessionsCompleted, snap.Runs, snap.Events, snap.SessionsPeak)
+	srv.Drain()
+	checkLeaks()
+}
+
+// TestServerSoakMemoryBaseline runs 64 sequential sessions — the shadow GC
+// on, as deployed — and asserts the server's retained heap returns to the
+// post-warm-up baseline: a long-lived raced must not accumulate per-session
+// state. Sampled via runtime.ReadMemStats after a forced GC, with the
+// first 8 sessions as warm-up, one full lap of the workload and seed
+// cycles, so every per-workload cache is already populated at baseline.
+func TestServerSoakMemoryBaseline(t *testing.T) {
+	const sessions, warmup = 64, 8
+	checkLeaks := leakCheck(t)
+	srv := startServer(t, serve.Config{MaxSessions: 4})
+	addr := srv.Addr().String()
+	c := client.New("tcp", addr)
+
+	heapNow := func() uint64 {
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	var baseline uint64
+	for i := 0; i < sessions; i++ {
+		out, err := c.Run(serve.SessionRequest{
+			Workload: fmt.Sprintf("synth:%d", 1+i%4),
+			Tool:     "spin",
+			Seed:     int64(1 + i%5),
+			Repeat:   2,
+		})
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+		if len(out.Runs) != 2 {
+			t.Fatalf("session %d: %d runs, want 2", i, len(out.Runs))
+		}
+		if i == warmup-1 {
+			baseline = heapNow()
+		}
+	}
+	if h := heapNow(); h > 2*baseline {
+		t.Errorf("heap after %d sessions = %d bytes, beyond 2× the %d-session baseline %d",
+			sessions, h, warmup, baseline)
+	}
 	srv.Drain()
 	checkLeaks()
 }

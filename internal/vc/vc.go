@@ -233,6 +233,47 @@ func (c *Clock) LessOrEqual(other *Clock) bool {
 	return true
 }
 
+// LessOrEqualFrozen reports whether c happens-before-or-equals the frozen
+// view (pointwise <=) — the domination test the shadow-state GC applies to
+// mutable accumulators (inflated sync objects, condition-value histories)
+// against the quiescence watermark.
+func (c *Clock) LessOrEqualFrozen(f Frozen) bool {
+	for i, v := range c.ticks {
+		if v > 0 && v > f.Get(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// MeetFrozen returns the pointwise minimum of the given views — the
+// greatest clock value dominated by every one of them. The result's length
+// is the shortest input's length, because a missing component reads as 0
+// and 0 always wins the min. No views at all yield bottom: with nothing to
+// dominate below, nothing may be retired.
+func MeetFrozen(views []Frozen) Frozen {
+	if len(views) == 0 {
+		return Frozen{}
+	}
+	n := views[0].Len()
+	for _, v := range views[1:] {
+		if v.Len() < n {
+			n = v.Len()
+		}
+	}
+	ticks := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		min := views[0].ticks[i]
+		for _, v := range views[1:] {
+			if v.ticks[i] < min {
+				min = v.ticks[i]
+			}
+		}
+		ticks[i] = min
+	}
+	return Frozen{ticks: ticks}
+}
+
 // Concurrent reports whether neither clock orders the other. Equal clocks
 // are not concurrent.
 func Concurrent(a, b *Clock) bool {
