@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke memory-smoke conformance ci tables
+.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke memory-smoke conformance trace-smoke ci tables
 
 all: build
 
@@ -88,12 +88,18 @@ memory-smoke:
 conformance:
 	$(GO) test -count=1 -run 'TestServerConformance' ./internal/serve/
 
+# Observability smoke: run a suite workload with -trace and validate the
+# emitted Chrome trace-event JSON carries one span per pipeline stage
+# (vm, segment pipeline, demux, shards, merge, GC). See scripts/trace-smoke.sh.
+trace-smoke:
+	GO=$(GO) sh scripts/trace-smoke.sh
+
 # Everything CI runs, in CI's order. (The workflow additionally runs the
 # shard determinism tests, the representation equivalence suite — the
 # epoch-read and clock-store references, under -race — and the server
 # conformance suite as named steps before the race suite, purely so those
 # breaks fail with their own labels; `race` covers them.)
-ci: fmt-check vet doc-check static build conformance race soak-smoke memory-smoke bench fuzz-smoke
+ci: fmt-check vet doc-check static build conformance race soak-smoke memory-smoke trace-smoke bench fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

@@ -9,9 +9,16 @@
 //
 //	raced [-network tcp|unix] [-addr 127.0.0.1:7334] [-metrics 127.0.0.1:7335]
 //	      [-max-sessions 64] [-workers N] [-drain-timeout 30s]
+//	      [-trace-dir DIR] [-block-profile-rate N]
 //
-// The metrics endpoint serves /metrics (Prometheus text), /metrics.json
-// (full snapshot with per-session gauges), and /healthz.
+// The metrics endpoint serves /metrics (Prometheus text, including the
+// observability layer's pipeline histograms and Go runtime stats),
+// /metrics.json (full snapshot with per-session gauges), /healthz, and
+// the net/http/pprof profile family under /debug/pprof/ (CPU, heap,
+// goroutine, block, mutex — live, while sessions run). -trace-dir writes
+// one Chrome trace-event JSON per session into the directory;
+// -block-profile-rate enables the runtime's block profile at the given
+// sampling rate (ns) so /debug/pprof/block shows contention.
 //
 // Client mode (-connect) opens one session against a running server and
 // prints the streamed report — racedetect's output vocabulary, remote:
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -40,6 +48,8 @@ func main() {
 	workers := flag.Int("workers", 0, "scheduling pool size (0 = max-sessions)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before hard close")
 	noGC := flag.Bool("no-gc-shadow", false, "disable the quiescence shadow-state GC sessions run with by default")
+	traceDir := flag.String("trace-dir", "", "write per-session Chrome trace-event JSON into this directory")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime block-profile sampling rate in ns (0 = off; see /debug/pprof/block)")
 
 	connect := flag.String("connect", "", "client mode: server address to dial")
 	workload := flag.String("w", "", "client: workload name")
@@ -66,10 +76,19 @@ func main() {
 		// A stale socket from an unclean exit blocks the bind.
 		os.Remove(*addr)
 	}
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "raced: trace-dir: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	srv := serve.New(serve.Config{
 		Network: *network, Addr: *addr, MetricsAddr: *metrics,
 		MaxSessions: *maxSessions, Workers: *workers,
-		DisableShadowGC: *noGC,
+		DisableShadowGC: *noGC, TraceDir: *traceDir,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "raced: %v\n", err)

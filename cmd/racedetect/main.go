@@ -26,7 +26,15 @@
 // events/sec, shadow bytes, read-set promotions/demotions (how often the
 // FastTrack epoch fast path had to fall back to a read-set), and the
 // clock store's sync epoch hits / rebases / inflates (how often
-// release/acquire stayed on the O(1) object-epoch path).
+// release/acquire stayed on the O(1) object-epoch path), plus per-stage
+// timing histograms from the observability layer (internal/obs).
+//
+// With -trace out.json the run records per-stage spans — vm quanta,
+// segment pipeline batches and stalls, demux dispatches, shard applies,
+// GC cycles, report merge — and writes Chrome trace-event JSON loadable
+// in chrome://tracing or Perfetto. -gc-events shortens the shadow-GC
+// cycle period (with -gc-shadow) so short workloads exercise GC cycles
+// too.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"adhocrace/internal/detect"
 	"adhocrace/internal/harness"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 	"adhocrace/internal/serve"
 	"adhocrace/internal/workloads"
@@ -53,7 +62,9 @@ func main() {
 	overlap := flag.Bool("overlap", false, "overlap vm execution with detection (segmented pipeline)")
 	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
 	gcShadow := flag.Bool("gc-shadow", false, "retire quiescent shadow state during the run (bounded memory, identical warnings)")
+	gcEvents := flag.Int64("gc-events", 0, "shadow-GC cycle period in events (0 = default; needs -gc-shadow)")
 	stats := flag.Bool("stats", false, "print pipeline stats: events, events/sec, shadow bytes, read-set promotions")
+	trace := flag.String("trace", "", "write Chrome trace-event JSON of the run's pipeline spans to this file")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
 	flag.Parse()
@@ -74,7 +85,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := detect.RunOpts{Shards: *shards, GCShadow: *gcShadow}
+	opts := detect.RunOpts{Shards: *shards, GCShadow: *gcShadow, GCEvents: *gcEvents}
 	if *adaptive {
 		*overlap = true // adaptive sizing is a property of the overlap pipeline
 	}
@@ -83,19 +94,30 @@ func main() {
 		opts.AdaptiveSegments = *adaptive
 	}
 
+	// -trace wants spans; -stats alone wants only counters/histograms.
+	var rec *obs.Recorder
+	switch {
+	case *trace != "":
+		rec = obs.NewTracing()
+	case *stats:
+		rec = obs.New()
+	}
+
 	if *seeds > 0 {
 		flag.Visit(func(f *flag.Flag) {
 			if f.Name == "seed" {
 				fmt.Fprintf(os.Stderr, "racedetect: -seed is ignored with -seeds (running seeds 1..%d)\n", *seeds)
 			}
 		})
-		if err := runSeeds(build, cfg, *workload, *seeds, opts, *verbose, *stats); err != nil {
+		if err := runSeeds(build, cfg, *workload, *seeds, opts, rec, *verbose, *stats); err != nil {
 			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 			os.Exit(1)
 		}
+		writeTrace(rec, *trace)
 		return
 	}
 
+	opts.Obs = rec.Pipeline(fmt.Sprintf("%s %s seed=%d", *workload, cfg.Name, *seed))
 	start := time.Now()
 	rep, res, err := detect.RunOpt(build(), cfg, *seed, opts)
 	elapsed := time.Since(start)
@@ -114,7 +136,9 @@ func main() {
 			fmt.Printf("stats: segment sizing: %d stalls, %d grows, %d shrinks, final size %d\n",
 				res.SegmentStalls, res.SegmentGrows, res.SegmentShrinks, res.SegmentSize)
 		}
+		fmt.Print(rec.Summary())
 	}
+	writeTrace(rec, *trace)
 	if *verbose {
 		for _, w := range rep.Warnings {
 			fmt.Printf("    %s\n", w)
@@ -134,7 +158,7 @@ func main() {
 // engine; the program is compiled once and shared by the seed jobs, and
 // results are printed in seed order (with every warning, when verbose).
 func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n int,
-	opts detect.RunOpts, verbose, stats bool) error {
+	opts detect.RunOpts, rec *obs.Recorder, verbose, stats bool) error {
 	eng := sched.Default()
 	prep := detect.PrepareBuild(build)
 	seedList := make([]int64, n)
@@ -143,7 +167,9 @@ func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n in
 	}
 	start := time.Now()
 	reps, err := sched.Map(eng, seedList, func(s int64) (*detect.Report, error) {
-		rep, _, err := prep.Run(cfg, s, opts)
+		o := opts
+		o.Obs = rec.Pipeline(fmt.Sprintf("%s %s seed=%d", workload, cfg.Name, s))
+		rep, _, err := prep.Run(cfg, s, o)
 		if err != nil {
 			return nil, fmt.Errorf("seed %d: %w", s, err)
 		}
@@ -170,8 +196,28 @@ func runSeeds(build func() *ir.Program, cfg detect.Config, workload string, n in
 	fmt.Printf("  mean racy contexts: %.1f\n", float64(total)/float64(n))
 	if stats {
 		printStats(reps, elapsed)
+		fmt.Print(rec.Summary())
 	}
 	return nil
+}
+
+// writeTrace exports the recorded spans as Chrome trace-event JSON; a nil
+// recorder or empty path is a no-op.
+func writeTrace(rec *obs.Recorder, path string) {
+	if rec == nil || !rec.Tracing() || path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "racedetect: trace: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := rec.WriteTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "racedetect: trace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace written to %s (load in chrome://tracing or Perfetto)\n", path)
 }
 
 // printStats renders the -stats block from one or more run reports,

@@ -26,13 +26,20 @@
 // or oracle violation is found (proximity variance of other presets does
 // not fail the run). Output is byte-identical for every -workers/-seq/
 // -shards combination.
+//
+// With -stats a footer reports the pipeline counters aggregated over
+// every preset run of the corpus — the same harness.RunStats block
+// racedetect and tables print — making the fuzzer's detector load (the
+// heaviest batch workload in the repo) visible.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"adhocrace/internal/harness"
 	"adhocrace/internal/sched"
 	"adhocrace/internal/spin"
 	"adhocrace/internal/synth"
@@ -52,6 +59,7 @@ func main() {
 	shrink := flag.Bool("shrink", false, "shrink the first oracle-vs-spin disagreement to a minimal reproducer")
 	emit := flag.String("emit", "", "write the shrunk reproducer as Go source to this file (implies -shrink)")
 	sweep := flag.Bool("sweep", false, "print the spin-window sensitivity sweep of each generated program")
+	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the corpus report")
 	verbose := flag.Bool("v", false, "print per-fragment ground truth of each generated program")
 	flag.Parse()
 
@@ -62,6 +70,11 @@ func main() {
 		SchedSeed:   *schedSeed,
 		Window:      *window,
 		OracleCheck: !*noOracle,
+	}
+	var runStats *harness.RunStats
+	if *stats {
+		runStats = &harness.RunStats{}
+		d.Observe = runStats.Observe
 	}
 
 	if *sweep || *verbose {
@@ -77,12 +90,17 @@ func main() {
 		}
 	}
 
+	corpusStart := time.Now()
 	rep, err := d.RunCorpus(*start, *n)
+	elapsed := time.Since(corpusStart)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "racefuzz: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Print(rep.Format())
+	if runStats != nil {
+		fmt.Print(runStats.Footer(elapsed))
+	}
 
 	if *shrink || *emit != "" {
 		if err := shrinkFirst(d, rep, *emit); err != nil {

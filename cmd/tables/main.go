@@ -31,7 +31,14 @@
 // over every run: events processed, events/sec, shadow bytes, read-set
 // promotions (how often the FastTrack epoch fast path promoted to a
 // read-set), and the clock store's sync epoch hits / rebases / inflates
-// (how often release/acquire stayed on the O(1) epoch path).
+// (how often release/acquire stayed on the O(1) epoch path), plus the
+// observability layer's per-stage timing histograms.
+//
+// -trace out.json records per-stage spans of every detector job and
+// writes Chrome trace-event JSON (chrome://tracing / Perfetto). Jobs run
+// concurrently on the experiment engine, so the trace shows all jobs'
+// pipelines interleaved — one process group per job; for a single clean
+// timeline use racedetect -trace.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"time"
 
 	"adhocrace/internal/harness"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 )
 
@@ -53,6 +61,7 @@ func main() {
 	adaptive := flag.Bool("overlap-adaptive", false, "size overlap segments adaptively from pipeline stalls (implies -overlap)")
 	gcShadow := flag.Bool("gc-shadow", false, "retire quiescent shadow state during every run (bounded memory, identical tables)")
 	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the tables")
+	trace := flag.String("trace", "", "write Chrome trace-event JSON of every job's pipeline spans to this file")
 	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
 	flag.Parse()
 
@@ -69,6 +78,18 @@ func main() {
 	if *stats {
 		runStats = &harness.RunStats{}
 		runner.WithStats(runStats)
+	}
+	var rec *obs.Recorder
+	switch {
+	case *trace != "":
+		rec = obs.NewTracing()
+	case *stats:
+		rec = obs.New()
+	}
+	if rec != nil {
+		// Jobs share one pipeline handle: tables traces show every
+		// concurrent job's spans in a single process group.
+		runner.WithObs(rec.Pipeline("tables"))
 	}
 	start := time.Now()
 
@@ -130,6 +151,20 @@ func main() {
 
 	if runStats != nil {
 		fmt.Print(runStats.Footer(time.Since(start)))
+		fmt.Print(rec.Summary())
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tables: trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rec.WriteTrace(f); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace written to %s (load in chrome://tracing or Perfetto)\n", *trace)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"adhocrace/internal/hb"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/lockset"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/spin"
 )
 
@@ -226,6 +227,11 @@ type Detector struct {
 	// merged report is assembled.
 	onWarning func(Warning)
 	streamed  int
+
+	// obs, when set, observes the detection side: shard batch applies, GC
+	// cycles, report merge time, and (through the demux and hb engine) fan-
+	// out and inflation activity. The per-access hot path carries no probe.
+	obs *obs.Pipeline
 }
 
 type siteKey struct {
@@ -270,12 +276,30 @@ func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards 
 	if shards > 1 {
 		d.demux = event.NewDemux(shards, 0, func(shard int, batch []entry) {
 			s := d.shards[shard]
+			// d.obs is read at call time: setObs runs before any event is
+			// demuxed, and the dispatch hand-off orders the write.
+			start := d.obs.Start()
 			for i := range batch {
 				s.access(&batch[i])
 			}
+			d.obs.Stage(obs.TrackShard(shard), obs.HistShardApplyNs, start, int64(len(batch)))
 		})
 	}
 	return d
+}
+
+// setObs attaches an observability pipeline to the coordinator, the demux
+// fan-out, and (when the engine supports it) the hb clock store. Must be
+// called before the first event; nil is the default and keeps every probe
+// a nil-check.
+func (d *Detector) setObs(p *obs.Pipeline) {
+	d.obs = p
+	if d.demux != nil {
+		d.demux.SetObs(p)
+	}
+	if eng, ok := d.hb.(interface{ SetObs(*obs.Pipeline) }); ok {
+		eng.SetObs(p)
+	}
 }
 
 // setWarningObserver installs RunOpts.OnWarning. Must be called before the
@@ -471,6 +495,7 @@ func (d *Detector) Close() {
 // Report finalizes and returns the run's report.
 func (d *Detector) Report() *Report {
 	d.Flush()
+	start := d.obs.Start()
 	rep := &Report{
 		Config:            d.cfg,
 		Warnings:          mergeWarnings(d.shards),
@@ -495,6 +520,7 @@ func (d *Detector) Report() *Report {
 	rep.GCCycles = d.gcCycles
 	rep.GCSyncObjsRetired = d.gcSyncObjs
 	rep.GCHistsBounded = d.gcHists
+	d.obs.Stage(obs.TrackMerge, obs.HistMergeNs, start, int64(len(rep.Warnings)))
 	if d.onWarning != nil {
 		// Deliver the warnings not yet streamed inline (all of them, for a
 		// sharded detector) in merged order, so the observed sequence always

@@ -64,6 +64,7 @@ package detect
 
 import (
 	"adhocrace/internal/event"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/vc"
 )
 
@@ -95,6 +96,7 @@ func (d *Detector) collectGarbage() {
 		return
 	}
 	d.gcCycles++
+	start := d.obs.Start()
 	if d.demux != nil {
 		for i := range d.shards {
 			e := d.demux.Slot(i)
@@ -103,8 +105,13 @@ func (d *Detector) collectGarbage() {
 	} else {
 		d.shards[0].collect(wm)
 	}
-	d.gcSyncObjs += d.hb.Quiesce(wm)
+	retired := d.hb.Quiesce(wm)
+	d.gcSyncObjs += retired
 	d.gcHists += d.adhoc.Quiesce(wm)
+	// The timed slice is the coordinator's share of the cycle: the sharded
+	// collect marks run later on the workers (inside their shard-apply
+	// spans), so this span measures coordinator occupancy, not total sweep.
+	d.obs.Stage(obs.TrackGC, obs.HistGCNs, start, retired)
 }
 
 // collect retires this shard's dominated shadow words. Runs on the shard's

@@ -6,6 +6,7 @@ import (
 
 	"adhocrace/internal/event"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/spin"
 	"adhocrace/internal/vm"
 )
@@ -56,6 +57,12 @@ type RunOpts struct {
 	// (vm.Options.Interrupt): vm.Run returns vm.ErrInterrupted and the
 	// report covers exactly the events emitted before the stop.
 	Interrupt *atomic.Bool
+	// Obs, when non-nil, records per-stage observability for the run —
+	// vm quanta, segment pipeline stalls, demux batches, shard applies,
+	// GC cycles, merge time — into the pipeline's recorder (internal/obs).
+	// Nil (the default) makes every probe a nil-check; reports are
+	// byte-identical either way.
+	Obs *obs.Pipeline
 }
 
 // Overlapped returns o with the segment overlap enabled at the default
@@ -170,6 +177,7 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 	if opts.GCShadow {
 		d.EnableShadowGC(opts.GCEvents)
 	}
+	d.setObs(opts.Obs)
 	d.setWarningObserver(opts.OnWarning)
 	var sink event.Sink = d
 	switch {
@@ -188,6 +196,7 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		SegmentEvents:    opts.SegmentEvents,
 		AdaptiveSegments: opts.AdaptiveSegments,
 		Interrupt:        opts.Interrupt,
+		Obs:              opts.Obs,
 	})
 	return d.Report(), res, err
 }

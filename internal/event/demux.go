@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 )
 
@@ -56,7 +57,13 @@ type Demux[T any] struct {
 	size    int
 	shards  []demuxShard[T]
 	free    sync.Pool
+	// obs, when set, records dispatched batch sizes and coordinator flush
+	// waits. Read only on the owning (sender/flusher) goroutine.
+	obs *obs.Pipeline
 }
+
+// SetObs attaches an observability pipeline; call it before sending.
+func (d *Demux[T]) SetObs(p *obs.Pipeline) { d.obs = p }
 
 // NewDemux starts one worker per shard running process over dispatched
 // batches. batchSize <= 0 means DefaultBatchSize.
@@ -109,6 +116,8 @@ func (d *Demux[T]) dispatch(shard int) {
 	batch := s.pending
 	s.pending = nil
 	s.issued++
+	d.obs.Observe(obs.HistBatchEntries, int64(len(batch)))
+	d.obs.Instant(obs.TrackDemux, "dispatch", int64(len(batch)))
 	s.wg.Add(1)
 	d.pool.Submit(shard, func() {
 		defer s.wg.Done()
@@ -145,7 +154,9 @@ func (d *Demux[T]) FlushShard(shard int) {
 	if len(s.pending) > 0 {
 		d.dispatch(shard)
 	}
+	start := d.obs.Start()
 	s.wg.Wait()
+	d.obs.StageNamed(obs.TrackDemux, "flush wait", obs.HistFlushWaitNs, start, int64(shard))
 	d.pool.Check()
 }
 

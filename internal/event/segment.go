@@ -1,6 +1,10 @@
 package event
 
-import "sync"
+import (
+	"sync"
+
+	"adhocrace/internal/obs"
+)
 
 // Trace-segmented overlap: the producer (the vm's execution loop) appends
 // events into the current segment buffer; a full segment is handed to a
@@ -56,6 +60,11 @@ type Segmented struct {
 	calm             int
 	stalls           int64
 	grows, shrinks   int64
+
+	// obs, when set, records per-segment sizes, consumer apply time, and
+	// producer stall time (the pipeline's backpressure signal). Nil keeps
+	// every probe a nil-check.
+	obs *obs.Pipeline
 
 	cur  []Event
 	work chan []Event
@@ -115,6 +124,11 @@ func NewSegmentedAdaptive(down Sink, initial int) *Segmented {
 	return s
 }
 
+// SetObs attaches an observability pipeline. Must be called before the
+// first Handle: the consumer goroutine reads it too, and the work-channel
+// hand-off of the first segment is what orders the write for it.
+func (s *Segmented) SetObs(p *obs.Pipeline) { s.obs = p }
+
 // SizingStats exposes the adaptive policy's counters — producer stalls
 // observed, grow/shrink transitions taken, and the current segment size.
 // The vm copies them into its Result (surfaced by `racedetect -stats`);
@@ -138,6 +152,7 @@ func (s *Segmented) Handle(ev *Event) {
 // the consumer is behind.
 func (s *Segmented) rotate() {
 	s.check()
+	s.obs.Observe(obs.HistSegEvents, int64(len(s.cur)))
 	s.pending.Add(1)
 	s.work <- s.cur
 	var buf []Event
@@ -147,7 +162,9 @@ func (s *Segmented) rotate() {
 			s.noteRotation(false)
 		default:
 			s.noteRotation(true)
+			stall := s.obs.Start()
 			buf = <-s.free
+			s.obs.StageNamed(obs.TrackPipeline, "stall", obs.HistStallNs, stall, 0)
 		}
 		// Reallocate when the recycled buffer no longer fits the size — in
 		// either direction: too small after a grow, or far oversized after
@@ -156,6 +173,16 @@ func (s *Segmented) rotate() {
 		// memory a stall burst grew.
 		if cap(buf) < s.size || cap(buf) >= 4*s.size {
 			buf = make([]Event, 0, s.size)
+		}
+	} else if s.obs != nil {
+		// Fixed-size sizing takes no policy decision, but an observed run
+		// still wants the stall split out from a free rotation.
+		select {
+		case buf = <-s.free:
+		default:
+			stall := s.obs.Start()
+			buf = <-s.free
+			s.obs.StageNamed(obs.TrackPipeline, "stall", obs.HistStallNs, stall, 0)
 		}
 	} else {
 		buf = <-s.free
@@ -245,9 +272,11 @@ func (s *Segmented) runSegment(seg []Event) {
 			s.mu.Unlock()
 		}
 	}()
+	start := s.obs.Start()
 	for i := range seg {
 		s.down.Handle(&seg[i])
 	}
+	s.obs.StageNamed(obs.TrackPipeline, "segment", obs.HistSegApplyNs, start, int64(len(seg)))
 }
 
 // check re-raises the first downstream panic on the producer, delivering

@@ -22,6 +22,7 @@ import (
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 	"adhocrace/internal/workloads/dataracetest"
 )
@@ -54,6 +55,10 @@ type Runner struct {
 	gc bool
 	// stats, when set, accumulates detector counters across every run.
 	stats *RunStats
+	// obs, when set, is the observability pipeline every detector job
+	// records into (detect.RunOpts.Obs). Concurrent jobs share it — the
+	// recorder is atomic — so a tables trace interleaves all jobs' spans.
+	obs *obs.Pipeline
 }
 
 // NewRunner builds a runner with the given engine options; the zero
@@ -100,6 +105,13 @@ func (r *Runner) WithStats(s *RunStats) *Runner {
 	return r
 }
 
+// WithObs attaches an observability pipeline recorded into by every
+// detector job (nil detaches; the default).
+func (r *Runner) WithObs(p *obs.Pipeline) *Runner {
+	r.obs = p
+	return r
+}
+
 // runShards is the detector shard count jobs should use.
 func (r *Runner) runShards() int {
 	if r.shards < 1 {
@@ -110,7 +122,7 @@ func (r *Runner) runShards() int {
 
 // runOpts is the pipeline shape every detector job of this runner uses.
 func (r *Runner) runOpts() detect.RunOpts {
-	opts := detect.RunOpts{Shards: r.runShards(), GCShadow: r.gc}
+	opts := detect.RunOpts{Shards: r.runShards(), GCShadow: r.gc, Obs: r.obs}
 	if r.overlap {
 		opts = opts.Overlapped()
 		opts.AdaptiveSegments = r.adaptive

@@ -22,6 +22,7 @@ package hb
 
 import (
 	"adhocrace/internal/event"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/vc"
 )
 
@@ -157,7 +158,15 @@ type store struct {
 	objs     map[int64]*objState
 	barriers map[int64]*barrierState
 	stats    Stats
+	// obs, when set, observes the sync slow path live (inflation events);
+	// the O(1) epoch fast path carries no probe at all.
+	obs *obs.Pipeline
 }
+
+// SetObs attaches an observability pipeline to the store. The detector
+// coordinator calls it (via an interface assertion, so the seed reference
+// engine needs no hook) before any events flow.
+func (e *store) SetObs(p *obs.Pipeline) { e.obs = p }
 
 // ClockOf returns the clock of thread t, creating it on first use. A slot
 // freed by Quiesce is recreated the same way — sound because Quiesce only
@@ -302,6 +311,8 @@ func (e *store) Release(t event.Tid, obj int64) {
 		s.full = full
 		s.base = vc.Frozen{}
 		e.stats.Inflates++
+		e.obs.Add(obs.CtrHBInflates, 1)
+		e.obs.Instant(obs.TrackHB, "inflate", obj)
 	}
 	tc.Tick(int(t))
 }

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
 
 	"adhocrace/internal/harness"
+	"adhocrace/internal/obs"
 )
 
 // Metrics is the server's counter set: the aggregate detector statistics
@@ -116,6 +119,21 @@ type Snapshot struct {
 
 	WarningsStreamed int64 `json:"warnings_streamed"`
 
+	// Go runtime health of the server process itself.
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heap_inuse_bytes"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	NumGC               uint32  `json:"num_gc"`
+	NumCPU              int     `json:"num_cpu"`
+	GoMaxProcs          int     `json:"gomaxprocs"`
+
+	// Pipeline is the observability layer's process-wide view: stage
+	// histograms (segment applies, producer stalls, shard batches, GC
+	// cycles, outbox stalls) and execution counters, aggregated over every
+	// session including traced ones.
+	Pipeline obs.Snapshot `json:"pipeline"`
+
 	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
 
@@ -148,6 +166,17 @@ func (s *Server) Snapshot() Snapshot {
 	if total := snap.SyncEpochHits + snap.SyncRebases + snap.SyncInflates; total > 0 {
 		snap.EpochHitRate = float64(snap.SyncEpochHits) / float64(total)
 	}
+
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	snap.Goroutines = runtime.NumGoroutine()
+	snap.HeapInuseBytes = mem.HeapInuse
+	snap.HeapAllocBytes = mem.HeapAlloc
+	snap.GCPauseTotalSeconds = float64(mem.PauseTotalNs) / 1e9
+	snap.NumGC = mem.NumGC
+	snap.NumCPU = runtime.NumCPU()
+	snap.GoMaxProcs = runtime.GOMAXPROCS(0)
+	snap.Pipeline = s.obs.Snapshot()
 
 	snap.LiveEvents = snap.Events
 	now := time.Now()
@@ -198,6 +227,14 @@ func (s *Server) MetricsHandler() http.Handler {
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	// Live profiling of the serving process (CPU, heap, goroutine, block,
+	// mutex), registered explicitly — the server never touches
+	// http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
 
@@ -236,6 +273,25 @@ func (snap Snapshot) prometheus() string {
 	c("gc_words_retired_total", "shadow words retired by the gc", snap.GCWordsRetired)
 	c("gc_sync_objs_retired_total", "happens-before sync objects retired by the gc", snap.GCSyncObjsRetired)
 	c("warnings_streamed_total", "race warnings streamed to clients", snap.WarningsStreamed)
+	g("goroutines", "goroutines in the server process", float64(snap.Goroutines))
+	g("heap_inuse_bytes", "Go heap bytes in use", float64(snap.HeapInuseBytes))
+	g("heap_alloc_bytes", "Go heap bytes allocated and live", float64(snap.HeapAllocBytes))
+	g("gc_pause_total_seconds", "cumulative Go GC stop-the-world pause seconds", snap.GCPauseTotalSeconds)
+	g("gomaxprocs", "GOMAXPROCS of the server process", float64(snap.GoMaxProcs))
+	g("num_cpu", "CPUs visible to the server process", float64(snap.NumCPU))
+	for _, pc := range snap.Pipeline.Counters {
+		c("pipeline_"+pc.Name, "pipeline counter (internal/obs)", pc.Value)
+	}
+	for _, h := range snap.Pipeline.Hists {
+		name := "raced_pipeline_" + h.Name
+		fmt.Fprintf(&b, "# HELP %s pipeline stage histogram (internal/obs, log2 buckets)\n# TYPE %s histogram\n",
+			name, name)
+		for _, bk := range h.Buckets {
+			fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", name, bk.Le, bk.Count)
+		}
+		fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+		fmt.Fprintf(&b, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	}
 	for _, ss := range snap.Sessions {
 		lbl := fmt.Sprintf("{id=%q,workload=%q,config=%q}", fmt.Sprint(ss.ID), ss.Workload, ss.Config)
 		fmt.Fprintf(&b, "raced_session_runs_done%s %d\n", lbl, ss.RunsDone)

@@ -1,0 +1,116 @@
+// Observability endpoint tests: the pipeline histograms, Go runtime
+// stats, and pprof handlers the metrics listener gained, plus per-session
+// trace files via Config.TraceDir. External test package like the rest of
+// the serve tests — everything goes through the exported API and a real
+// client connection.
+package serve_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocrace/internal/obs"
+	"adhocrace/internal/serve"
+	"adhocrace/internal/serve/client"
+)
+
+// TestMetricsObservability scrapes a live server after one session: the
+// Prometheus text must carry the Go runtime gauges, the pipeline counters,
+// and at least one rendered pipeline histogram; the JSON snapshot must
+// embed the pipeline block; and the pprof family must answer.
+func TestMetricsObservability(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	srv := startServer(t, serve.Config{MaxSessions: 2, MetricsAddr: "127.0.0.1:0"})
+	c := client.New("tcp", srv.Addr().String())
+	if _, err := c.Run(serve.SessionRequest{Workload: "ww_two_threads", Tool: "spin"}); err != nil {
+		t.Fatalf("session: %v", err)
+	}
+
+	body := httpGet(t, srv, "/metrics")
+	for _, want := range []string{
+		// Go runtime stats (satellite: live heap/GC/goroutine gauges).
+		"raced_goroutines", "raced_heap_inuse_bytes", "raced_heap_alloc_bytes",
+		"raced_gc_pause_total_seconds", "raced_gomaxprocs", "raced_num_cpu",
+		// Pipeline counters from the always-on counter-mode recorder.
+		"raced_pipeline_sessions 1", "raced_pipeline_vm_steps", "raced_pipeline_vm_quanta",
+		// One histogram rendered in Prometheus cumulative-bucket form:
+		// outbox depth is sampled on every streamed frame, so it is never
+		// empty after a completed session.
+		"raced_pipeline_outbox_depth_bucket{le=\"+Inf\"}",
+		"raced_pipeline_outbox_depth_count",
+		"raced_pipeline_outbox_depth_sum",
+	} {
+		if !containsLine(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	jsonBody := httpGet(t, srv, "/metrics.json")
+	for _, want := range []string{"\"pipeline\"", "\"goroutines\"", "\"heap_inuse_bytes\"", "\"counters\""} {
+		if !strings.Contains(jsonBody, want) {
+			t.Errorf("/metrics.json missing %s\n%s", want, jsonBody)
+		}
+	}
+
+	// The pprof family must be live on the same listener. httpGet returns
+	// the raw HTTP/1.0 response, status line first.
+	for _, path := range []string{"/debug/pprof/heap?debug=1", "/debug/pprof/goroutine?debug=1", "/debug/pprof/"} {
+		resp := httpGet(t, srv, path)
+		if !strings.HasPrefix(resp, "HTTP/1.0 200") {
+			t.Errorf("GET %s: status %q, want 200", path, strings.SplitN(resp, "\r\n", 2)[0])
+		}
+	}
+
+	srv.Drain()
+	checkLeaks()
+}
+
+// TestTraceDirWritesSessionTrace runs one session against a server with
+// Config.TraceDir set: a per-session Chrome trace file must appear, parse,
+// and carry vm, merge, and session-track events — and the session's
+// counters must still fold into the server-wide recorder (the snapshot
+// accounts for the traced session).
+func TestTraceDirWritesSessionTrace(t *testing.T) {
+	checkLeaks := leakCheck(t)
+	dir := t.TempDir()
+	srv := startServer(t, serve.Config{MaxSessions: 2, TraceDir: dir})
+	c := client.New("tcp", srv.Addr().String())
+	if _, err := c.Run(serve.SessionRequest{Workload: "ww_two_threads", Tool: "spin", Repeat: 2}); err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	srv.Drain()
+
+	matches, err := filepath.Glob(filepath.Join(dir, "trace-session-*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("trace files = %v (err %v), want exactly one", matches, err)
+	}
+	f, err := os.Open(matches[0])
+	if err != nil {
+		t.Fatalf("open trace: %v", err)
+	}
+	defer f.Close()
+	sum, err := obs.ValidateTrace(f)
+	if err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+	for _, track := range []string{"vm", "merge", "session"} {
+		if sum.Events[track] == 0 {
+			t.Errorf("session trace has no events on track %q (got %v)", track, sum.Events)
+		}
+	}
+
+	// Fold-back contract: tracing sessions must not vanish from the
+	// server-wide counters.
+	found := false
+	for _, ctr := range srv.Snapshot().Pipeline.Counters {
+		if ctr.Name == "sessions" && ctr.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("server-wide recorder missing folded session counter: %+v", srv.Snapshot().Pipeline)
+	}
+	checkLeaks()
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 )
 
@@ -48,6 +49,15 @@ type Config struct {
 	// whose shadow state must stay bounded; reports are byte-identical
 	// either way.
 	DisableShadowGC bool
+
+	// TraceDir, when non-empty, gives every session a span-recording
+	// observability pipeline and writes its Chrome trace-event JSON to
+	// TraceDir/trace-session-<id>.json at session end (the directory must
+	// exist). Counters and histograms still fold into the server-wide
+	// recorder, so the metrics endpoint sees traced sessions too. Empty
+	// (the default) keeps sessions on the shared counters-only recorder —
+	// no span buffering, no files.
+	TraceDir string
 }
 
 // withDefaults fills unset knobs.
@@ -83,6 +93,11 @@ type Server struct {
 	cache   *preparedCache
 	pool    *sched.Pool
 	metrics *Metrics
+	// obs is the process-wide counters+histograms recorder every session
+	// records into (always on: the pipeline stall and outbox gauges are
+	// part of the metrics endpoint). Span recording happens only on the
+	// per-session recorders Config.TraceDir enables.
+	obs *obs.Recorder
 
 	// tokens is the admission semaphore: one token per running session.
 	tokens chan struct{}
@@ -111,6 +126,7 @@ func New(cfg Config) *Server {
 		cache:    newPreparedCache(),
 		pool:     sched.NewPool(cfg.Workers),
 		metrics:  newMetrics(),
+		obs:      obs.New(),
 		tokens:   make(chan struct{}, cfg.MaxSessions),
 		sessions: make(map[uint64]*session),
 	}
@@ -299,6 +315,7 @@ func (s *Server) handleConn(conn net.Conn) {
 	<-ss.writerDone
 	conn.Close()
 	<-ss.readerDone
+	ss.finishObs()
 }
 
 // rejectConn answers a connection that never became a session.

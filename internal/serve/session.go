@@ -2,14 +2,17 @@ package serve
 
 import (
 	"errors"
+	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/event"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/vm"
 )
 
@@ -90,11 +93,18 @@ type session struct {
 	tap       event.AtomicCounter
 	runsDone  atomic.Int64
 	warnCount atomic.Int64
+
+	// obs is the session's observability handle: the server-wide
+	// counters recorder by default, or a private span-recording one when
+	// Config.TraceDir asks for per-session traces (rec non-nil then;
+	// finishObs folds it back and writes the trace file).
+	obs *obs.Pipeline
+	rec *obs.Recorder
 }
 
 func newSession(srv *Server, id uint64, req SessionRequest, cfg detect.Config,
 	prep *detect.Prepared, conn net.Conn) *session {
-	return &session{
+	ss := &session{
 		id: id, srv: srv, req: req, cfg: cfg, prep: prep, conn: conn,
 		started:    time.Now(),
 		outbox:     make(chan outFrame, srv.cfg.OutboxFrames),
@@ -102,6 +112,34 @@ func newSession(srv *Server, id uint64, req SessionRequest, cfg detect.Config,
 		cancel:     make(chan struct{}),
 		writerDone: make(chan struct{}),
 		readerDone: make(chan struct{}),
+	}
+	if srv.cfg.TraceDir != "" {
+		ss.rec = obs.NewTracing()
+		ss.obs = ss.rec.Pipeline(fmt.Sprintf("session %d %s", id, req.Workload))
+	} else {
+		ss.obs = srv.obs.Pipeline("")
+	}
+	return ss
+}
+
+// finishObs folds a traced session's recorder into the server-wide one
+// and writes its Chrome trace file. Called once from the conn handler
+// after every session goroutine has been joined; a no-op for untraced
+// sessions (their handle already points at the server recorder).
+func (ss *session) finishObs() {
+	if ss.rec == nil {
+		return
+	}
+	ss.rec.FoldInto(ss.srv.obs)
+	path := filepath.Join(ss.srv.cfg.TraceDir, fmt.Sprintf("trace-session-%d.json", ss.id))
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "raced: session %d trace: %v\n", ss.id, err)
+		return
+	}
+	defer f.Close()
+	if err := ss.rec.WriteTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "raced: session %d trace: %v\n", ss.id, err)
 	}
 }
 
@@ -135,10 +173,22 @@ func (ss *session) cancelCode() string {
 }
 
 // send queues one frame, giving up if the session is canceled. The block
-// on a full outbox is the protocol's backpressure.
+// on a full outbox is the protocol's backpressure — the stall half of the
+// chain the observability layer accounts for (outbox occupancy sampled on
+// every send, stall time when the queue is full).
 func (ss *session) send(t FrameType, body any) bool {
+	ss.obs.Observe(obs.HistOutboxDepth, int64(len(ss.outbox)))
 	select {
 	case ss.outbox <- outFrame{t, body}:
+		return true
+	case <-ss.cancel:
+		return false
+	default:
+	}
+	stall := ss.obs.Start()
+	select {
+	case ss.outbox <- outFrame{t, body}:
+		ss.obs.StageNamed(obs.TrackSession, "outbox stall", obs.HistOutboxStallNs, stall, int64(len(ss.outbox)))
 		return true
 	case <-ss.cancel:
 		return false
@@ -158,12 +208,14 @@ func (ss *session) setFinal(code, msg string) {
 // outbox as the detector produces them, then the run's result frame.
 func (ss *session) run() {
 	ss.state.Store(stateRunning)
+	ss.obs.Add(obs.CtrSessions, 1)
 	run := 0
 	opts := detect.RunOpts{
 		Shards:           ss.req.Shards,
 		SegmentEvents:    ss.req.SegmentEvents,
 		AdaptiveSegments: ss.req.AdaptiveSegments,
 		GCShadow:         !ss.srv.cfg.DisableShadowGC,
+		Obs:              ss.obs,
 		Tap:              &ss.tap,
 		Interrupt:        &ss.stop,
 		OnWarning: func(w detect.Warning) {
@@ -181,7 +233,11 @@ func (ss *session) run() {
 			return
 		}
 		seed := ss.req.Seed + int64(run)
+		span := ss.obs.BeginSpan() // trace mode only
 		rep, res, err := ss.prep.Run(ss.cfg, seed, opts)
+		if span != 0 {
+			ss.obs.SpanNamed(obs.TrackSession, fmt.Sprintf("run %d seed %d", run, seed), span, ss.tap.Total())
+		}
 		if err != nil {
 			if errors.Is(err, vm.ErrInterrupted) {
 				ss.setFinal(ss.cancelCode(), "session canceled mid-run")

@@ -16,6 +16,7 @@ import (
 
 	"adhocrace/internal/event"
 	"adhocrace/internal/ir"
+	"adhocrace/internal/obs"
 	"adhocrace/internal/spin"
 )
 
@@ -56,6 +57,12 @@ type Options struct {
 	// the flag may be set from any goroutine, and the vm notices within one
 	// scheduler quantum.
 	Interrupt *atomic.Bool
+	// Obs, when non-nil, records execution-side observability: step and
+	// quantum counters, per-quantum spans (trace mode only — the scheduler
+	// loop stays clock-free otherwise), and the overlap pipeline's segment
+	// sizes and stall times. Nil (the default) compiles every probe down
+	// to a nil-check.
+	Obs *obs.Pipeline
 }
 
 const (
@@ -185,6 +192,7 @@ func New(p *ir.Program, opts Options) *VM {
 		} else {
 			v.seg = event.NewSegmented(opts.Sink, size)
 		}
+		v.seg.SetObs(opts.Obs)
 		v.sink = v.seg
 	}
 	return v
@@ -242,7 +250,13 @@ func (v *VM) run() (Result, error) {
 		ti := int(v.next() % uint64(len(v.runnable)))
 		tid := v.runnable[ti]
 		quantum := 1 + int(v.next()%uint64(v.opts.QuantumMax))
-		if err := v.runThread(v.threads[tid], quantum); err != nil {
+		before := v.steps
+		span := v.opts.Obs.BeginSpan() // 0 (no clock read) unless tracing
+		err := v.runThread(v.threads[tid], quantum)
+		v.opts.Obs.EndSpan(obs.TrackVM, obs.HistQuantumNs, span, int64(tid))
+		v.opts.Obs.Add(obs.CtrVMQuanta, 1)
+		v.opts.Obs.Add(obs.CtrVMSteps, v.steps-before)
+		if err != nil {
 			return v.result(), err
 		}
 	}

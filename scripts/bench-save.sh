@@ -28,6 +28,14 @@ done
 # against it — the steady state a `tables` invocation actually serves, and
 # the state the allocs/op trajectory tracks.
 "${GO:-go}" test -run '^$' -bench "$bench" -benchtime 5x -benchmem -json . > "$out"
+# Provenance trailer: one extra JSON line pinning the commit and the
+# host's parallelism, so a BENCH record is interpretable after the fact.
+# bench-compare.sh and the recovery grep above only read "Output": lines,
+# so the trailer is invisible to them.
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+printf '{"BenchMeta":{"Commit":"%s","GoMaxProcs":%s,"NumCPU":%s}}\n' \
+	"$sha" "${GOMAXPROCS:-$cpus}" "$cpus" >> "$out"
 grep -o '"Output":"[^"]*"' "$out" \
 	| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
 	| sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)' || true
