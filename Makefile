@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench bench-compare fuzz-smoke fmt-check vet doc-check static soak-smoke memory-smoke conformance trace-smoke ci tables
+.PHONY: all build test race bench bench-compare fuzz-smoke fuzz-proto fmt-check vet doc-check static soak-smoke memory-smoke conformance chaos-smoke trace-smoke ci tables
 
 all: build
 
@@ -88,6 +88,21 @@ memory-smoke:
 conformance:
 	$(GO) test -count=1 -run 'TestServerConformance' ./internal/serve/
 
+# Chaos smoke: the reduced fault-injection matrix under the Go race
+# detector — every failpoint fired one at a time with per-site victims
+# (panic isolation, terminal error frames, byte-identical recovery) plus
+# the seeded blanket sweep over the -short suite. The full matrix runs as
+# part of `make race`/`make test`.
+chaos-smoke:
+	$(GO) test -race -count=1 -short -run 'TestChaos' ./internal/serve/
+
+# Protocol fuzz: 30s of coverage-guided fuzzing over the wire-frame
+# decoders (client ReadFrame + server readRequest) — no panics, no
+# allocations from corrupt length words, round-trip stability. The seed
+# corpus alone runs in `make test`.
+fuzz-proto:
+	$(GO) test -run '^$$' -fuzz FuzzFrameDecode -fuzztime 30s ./internal/serve/
+
 # Observability smoke: run a suite workload with -trace and validate the
 # emitted Chrome trace-event JSON carries one span per pipeline stage
 # (vm, segment pipeline, demux, shards, merge, GC). See scripts/trace-smoke.sh.
@@ -99,7 +114,7 @@ trace-smoke:
 # epoch-read and clock-store references, under -race — and the server
 # conformance suite as named steps before the race suite, purely so those
 # breaks fail with their own labels; `race` covers them.)
-ci: fmt-check vet doc-check static build conformance race soak-smoke memory-smoke trace-smoke bench fuzz-smoke
+ci: fmt-check vet doc-check static build conformance chaos-smoke race soak-smoke memory-smoke trace-smoke bench fuzz-proto fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

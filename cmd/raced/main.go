@@ -9,7 +9,8 @@
 //
 //	raced [-network tcp|unix] [-addr 127.0.0.1:7334] [-metrics 127.0.0.1:7335]
 //	      [-max-sessions 64] [-workers N] [-drain-timeout 30s]
-//	      [-trace-dir DIR] [-block-profile-rate N]
+//	      [-run-timeout D] [-shed] [-memory-budget BYTES]
+//	      [-trace-dir DIR] [-block-profile-rate N] [-failpoints SPEC]
 //
 // The metrics endpoint serves /metrics (Prometheus text, including the
 // observability layer's pipeline histograms and Go runtime stats),
@@ -20,11 +21,25 @@
 // -block-profile-rate enables the runtime's block profile at the given
 // sampling rate (ns) so /debug/pprof/block shows contention.
 //
+// -run-timeout bounds each run server-side (over-budget runs end the
+// session with a run-timeout error). -shed answers saturation with a
+// retryable Busy frame instead of evicting the oldest session;
+// -memory-budget adds a heap-in-use admission gate to the same shedding
+// policy. -failpoints arms the deterministic fault-injection registry
+// (internal/fault) from a spec like
+// "serve.frame.write=error%97/3,gc.cycle=panic@2" — a chaos-testing
+// handle, never armed by default.
+//
 // Client mode (-connect) opens one session against a running server and
 // prints the streamed report — racedetect's output vocabulary, remote:
 //
 //	raced -connect 127.0.0.1:7334 -w x264 [-network tcp] [-tool spin] [-window 7]
-//	      [-seed 1] [-repeat 1] [-shards N] [-overlap] [-overlap-adaptive] [-v]
+//	      [-seed 1] [-repeat 1] [-shards N] [-overlap] [-overlap-adaptive]
+//	      [-retry N] [-v]
+//
+// -retry N retries shed (Busy) or evicted sessions up to N times with
+// capped exponential backoff, resuming at the first missing run; the
+// report then prints when the session set completes rather than live.
 package main
 
 import (
@@ -36,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"adhocrace/internal/fault"
 	"adhocrace/internal/serve"
 	"adhocrace/internal/serve/client"
 )
@@ -48,6 +64,10 @@ func main() {
 	workers := flag.Int("workers", 0, "scheduling pool size (0 = max-sessions)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on SIGTERM before hard close")
 	noGC := flag.Bool("no-gc-shadow", false, "disable the quiescence shadow-state GC sessions run with by default")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-clock budget; an over-budget run ends its session with a run-timeout error (0 = unbounded)")
+	shed := flag.Bool("shed", false, "answer saturation with a retryable busy frame instead of evicting the oldest session")
+	memBudget := flag.Int64("memory-budget", 0, "heap-in-use bytes above which new sessions are shed (requires -shed; 0 = no memory gate)")
+	failpoints := flag.String("failpoints", "", "arm fault-injection points, e.g. 'serve.frame.write=error%97/3,gc.cycle=panic@2' (chaos testing)")
 	traceDir := flag.String("trace-dir", "", "write per-session Chrome trace-event JSON into this directory")
 	blockRate := flag.Int("block-profile-rate", 0, "runtime block-profile sampling rate in ns (0 = off; see /debug/pprof/block)")
 
@@ -60,6 +80,7 @@ func main() {
 	shards := flag.Int("shards", 0, "client: detector shard workers per run")
 	overlap := flag.Bool("overlap", false, "client: overlap vm execution with detection")
 	adaptive := flag.Bool("overlap-adaptive", false, "client: adaptive overlap segment sizing")
+	retry := flag.Int("retry", 0, "client: retries for shed/evicted sessions (capped backoff, run-resume)")
 	verbose := flag.Bool("v", false, "client: print every warning as it streams")
 	flag.Parse()
 
@@ -68,7 +89,7 @@ func main() {
 			Workload: *workload, Tool: *tool, Window: *window,
 			Seed: *seed, Repeat: *repeat,
 			Shards: *shards, Overlap: *overlap, AdaptiveSegments: *adaptive,
-		}, *verbose)
+		}, *verbose, *retry)
 		return
 	}
 
@@ -85,10 +106,21 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var faults *fault.Registry
+	if *failpoints != "" {
+		var err error
+		if faults, err = fault.Parse(*failpoints); err != nil {
+			fmt.Fprintf(os.Stderr, "raced: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "raced: CHAOS MODE — failpoints armed: %s\n", *failpoints)
+	}
 	srv := serve.New(serve.Config{
 		Network: *network, Addr: *addr, MetricsAddr: *metrics,
 		MaxSessions: *maxSessions, Workers: *workers,
 		DisableShadowGC: *noGC, TraceDir: *traceDir,
+		RunTimeout: *runTimeout, Shed: *shed, MemoryBudgetBytes: *memBudget,
+		Fault: faults,
 	})
 	if err := srv.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "raced: %v\n", err)
@@ -126,9 +158,32 @@ func main() {
 		snap.SessionsTotal, snap.SessionsCompleted, snap.Runs, snap.Events)
 }
 
-// runClient drives one session and prints the stream.
-func runClient(network, addr string, req serve.SessionRequest, verbose bool) {
+// runClient drives one session and prints the stream. With retries, the
+// buffered RunRetry path replaces live streaming: shed and evicted
+// sessions back off and resume at the first missing run.
+func runClient(network, addr string, req serve.SessionRequest, verbose bool, retries int) {
 	c := client.New(network, addr)
+	if retries > 0 {
+		out, err := c.RunRetry(req, client.RetryPolicy{Attempts: 1 + retries})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "raced: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("session %d: workload %s under %s (seed %d, %d run(s))\n",
+			out.SessionID, req.Workload, out.Config, req.Seed, len(out.Runs))
+		for _, run := range out.Runs {
+			if verbose {
+				for _, w := range run.Warnings {
+					fmt.Printf("  run %d: %s at %s:%d addr=%d tid=%d other=%d write=%v\n",
+						w.Run, w.Kind, w.File, w.Line, w.Addr, w.Tid, w.Other, w.Write)
+				}
+			}
+			r := run.Result
+			fmt.Printf("  run %d (seed %d): steps=%d threads=%d events=%d warnings=%d racy contexts=%d\n",
+				r.Run, r.Seed, r.Steps, r.Threads, r.Events, r.Warnings, r.RacyContexts)
+		}
+		return
+	}
 	s, err := c.Open(req)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "raced: %v\n", err)

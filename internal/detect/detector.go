@@ -6,6 +6,7 @@ import (
 
 	"adhocrace/internal/core"
 	"adhocrace/internal/event"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/hb"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/lockset"
@@ -232,6 +233,11 @@ type Detector struct {
 	// cycles, report merge time, and (through the demux and hb engine) fan-
 	// out and inflation activity. The per-access hot path carries no probe.
 	obs *obs.Pipeline
+	// fault, when set, arms the detection-side failpoints (shard apply,
+	// merge, GC cycle; the demux carries its own dispatch site). Like obs,
+	// the per-access hot path carries no site — injections are
+	// stage-granular. Nil keeps every site a nil-check.
+	fault *fault.Registry
 }
 
 type siteKey struct {
@@ -276,8 +282,14 @@ func NewSharded(cfg Config, ins *spin.Instrumentation, prog *ir.Program, shards 
 	if shards > 1 {
 		d.demux = event.NewDemux(shards, 0, func(shard int, batch []entry) {
 			s := d.shards[shard]
-			// d.obs is read at call time: setObs runs before any event is
-			// demuxed, and the dispatch hand-off orders the write.
+			// d.obs/d.fault are read at call time: setObs/setFault run
+			// before any event is demuxed, and the dispatch hand-off orders
+			// the writes. An injected shard-apply failure panics on the
+			// worker; the sched.Pool captures it and re-raises it on the
+			// coordinator at the next flush.
+			if err := d.fault.Fire(fault.ShardApply); err != nil {
+				panic(err)
+			}
 			start := d.obs.Start()
 			for i := range batch {
 				s.access(&batch[i])
@@ -299,6 +311,15 @@ func (d *Detector) setObs(p *obs.Pipeline) {
 	}
 	if eng, ok := d.hb.(interface{ SetObs(*obs.Pipeline) }); ok {
 		eng.SetObs(p)
+	}
+}
+
+// setFault attaches a failpoint registry to the coordinator and the demux
+// fan-out. Must be called before the first event; nil is the default.
+func (d *Detector) setFault(r *fault.Registry) {
+	d.fault = r
+	if d.demux != nil {
+		d.demux.SetFault(r)
 	}
 }
 
@@ -495,6 +516,11 @@ func (d *Detector) Close() {
 // Report finalizes and returns the run's report.
 func (d *Detector) Report() *Report {
 	d.Flush()
+	if err := d.fault.Fire(fault.DetectMerge); err != nil {
+		// Report has no error path; an injected merge failure is a
+		// detector crash for the caller's containment to absorb.
+		panic(err)
+	}
 	start := d.obs.Start()
 	rep := &Report{
 		Config:            d.cfg,

@@ -64,6 +64,7 @@ package detect
 
 import (
 	"adhocrace/internal/event"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/vc"
 )
@@ -96,6 +97,11 @@ func (d *Detector) collectGarbage() {
 		return
 	}
 	d.gcCycles++
+	if err := d.fault.Fire(fault.GCCycle); err != nil {
+		// No error path out of a cycle; an injected GC failure crashes the
+		// detection stage for the caller's containment to absorb.
+		panic(err)
+	}
 	start := d.obs.Start()
 	if d.demux != nil {
 		for i := range d.shards {

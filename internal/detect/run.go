@@ -3,8 +3,10 @@ package detect
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"adhocrace/internal/event"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/spin"
@@ -57,6 +59,17 @@ type RunOpts struct {
 	// (vm.Options.Interrupt): vm.Run returns vm.ErrInterrupted and the
 	// report covers exactly the events emitted before the stop.
 	Interrupt *atomic.Bool
+	// Deadline, when non-zero, aborts the run once the wall clock passes it
+	// (vm.Options.Deadline): vm.Run returns vm.ErrDeadline, polled
+	// alongside Interrupt at scheduling points. The server's per-run
+	// timeout (raced -run-timeout).
+	Deadline time.Time
+	// Fault, when non-nil, arms the pipeline's named failpoints (segment
+	// rotation, demux dispatch, shard apply, merge, GC cycle — see
+	// internal/fault). Nil (the default) keeps every site a nil-check;
+	// this is the chaos suite's injection handle, never set in production
+	// runs unless explicitly configured.
+	Fault *fault.Registry
 	// Obs, when non-nil, records per-stage observability for the run —
 	// vm quanta, segment pipeline stalls, demux batches, shard applies,
 	// GC cycles, merge time — into the pipeline's recorder (internal/obs).
@@ -178,6 +191,7 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		d.EnableShadowGC(opts.GCEvents)
 	}
 	d.setObs(opts.Obs)
+	d.setFault(opts.Fault)
 	d.setWarningObserver(opts.OnWarning)
 	var sink event.Sink = d
 	switch {
@@ -196,7 +210,9 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		SegmentEvents:    opts.SegmentEvents,
 		AdaptiveSegments: opts.AdaptiveSegments,
 		Interrupt:        opts.Interrupt,
+		Deadline:         opts.Deadline,
 		Obs:              opts.Obs,
+		Fault:            opts.Fault,
 	})
 	return d.Report(), res, err
 }

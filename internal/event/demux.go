@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"adhocrace/internal/fault"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 )
@@ -60,10 +61,18 @@ type Demux[T any] struct {
 	// obs, when set, records dispatched batch sizes and coordinator flush
 	// waits. Read only on the owning (sender/flusher) goroutine.
 	obs *obs.Pipeline
+	// fault, when set, arms the dispatch failpoint. Read only on the
+	// owning goroutine.
+	fault *fault.Registry
 }
 
 // SetObs attaches an observability pipeline; call it before sending.
 func (d *Demux[T]) SetObs(p *obs.Pipeline) { d.obs = p }
+
+// SetFault attaches a failpoint registry; call it before sending. The
+// dispatch site has no error path, so an injection panics on the owning
+// goroutine regardless of its armed mode.
+func (d *Demux[T]) SetFault(r *fault.Registry) { d.fault = r }
 
 // NewDemux starts one worker per shard running process over dispatched
 // batches. batchSize <= 0 means DefaultBatchSize.
@@ -112,6 +121,9 @@ func (d *Demux[T]) Slot(shard int) *T {
 
 // dispatch hands the shard's pending batch to its worker.
 func (d *Demux[T]) dispatch(shard int) {
+	if err := d.fault.Fire(fault.DemuxDispatch); err != nil {
+		panic(err)
+	}
 	s := &d.shards[shard]
 	batch := s.pending
 	s.pending = nil
@@ -168,8 +180,10 @@ func (d *Demux[T]) FlushAll() {
 }
 
 // Close flushes everything and stops the workers. The demux must not be
-// used after Close.
+// used after Close. A worker panic re-raised by the flush must not strand
+// the workers — the pool stops on every exit path, and Close re-raises the
+// panic after the workers are down.
 func (d *Demux[T]) Close() {
+	defer d.pool.Close()
 	d.FlushAll()
-	d.pool.Close()
 }

@@ -3,6 +3,7 @@ package event
 import (
 	"sync"
 
+	"adhocrace/internal/fault"
 	"adhocrace/internal/obs"
 )
 
@@ -65,6 +66,9 @@ type Segmented struct {
 	// producer stall time (the pipeline's backpressure signal). Nil keeps
 	// every probe a nil-check.
 	obs *obs.Pipeline
+	// fault, when set, arms the segment-rotation failpoint. Nil keeps the
+	// probe a nil-check.
+	fault *fault.Registry
 
 	cur  []Event
 	work chan []Event
@@ -129,6 +133,13 @@ func NewSegmentedAdaptive(down Sink, initial int) *Segmented {
 // hand-off of the first segment is what orders the write for it.
 func (s *Segmented) SetObs(p *obs.Pipeline) { s.obs = p }
 
+// SetFault attaches a failpoint registry; call it before the first Handle.
+// An injection at the rotation site has no error path to take, so it
+// surfaces as a producer-side panic either way — the pipeline's
+// panic-containment machinery (Close-on-unwind, consumer teardown) is
+// exactly what it exercises.
+func (s *Segmented) SetFault(r *fault.Registry) { s.fault = r }
+
 // SizingStats exposes the adaptive policy's counters — producer stalls
 // observed, grow/shrink transitions taken, and the current segment size.
 // The vm copies them into its Result (surfaced by `racedetect -stats`);
@@ -152,6 +163,9 @@ func (s *Segmented) Handle(ev *Event) {
 // the consumer is behind.
 func (s *Segmented) rotate() {
 	s.check()
+	if err := s.fault.Fire(fault.SegmentRotate); err != nil {
+		panic(err)
+	}
 	s.obs.Observe(obs.HistSegEvents, int64(len(s.cur)))
 	s.pending.Add(1)
 	s.work <- s.cur

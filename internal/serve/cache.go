@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/workloads"
 )
 
@@ -13,8 +14,9 @@ import (
 // spin instrumentation — both immutable at run time), so repeat sessions
 // pay the build and instrumentation cost once.
 type preparedCache struct {
-	mu sync.Mutex
-	m  map[string]*detect.Prepared
+	mu    sync.Mutex
+	m     map[string]*detect.Prepared
+	fault *fault.Registry
 }
 
 // cacheLimit bounds the cache; the synth:<seed> namespace is unbounded, so
@@ -22,8 +24,8 @@ type preparedCache struct {
 // arbitrary — correctness never depends on a hit.
 const cacheLimit = 4096
 
-func newPreparedCache() *preparedCache {
-	return &preparedCache{m: make(map[string]*detect.Prepared)}
+func newPreparedCache(f *fault.Registry) *preparedCache {
+	return &preparedCache{m: make(map[string]*detect.Prepared), fault: f}
 }
 
 // get resolves a workload name to its shared Prepared, building it on the
@@ -41,6 +43,10 @@ func (c *preparedCache) get(name string) (*detect.Prepared, error) {
 	build, ok := workloads.Find(name)
 	if !ok {
 		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	// Fires on cache misses only — a hit never touches the build path.
+	if err := c.fault.Fire(fault.CacheBuild); err != nil {
+		return nil, fmt.Errorf("prepare %q: %w", name, err)
 	}
 	p := detect.PrepareBuild(build)
 

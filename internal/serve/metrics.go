@@ -34,6 +34,14 @@ type Metrics struct {
 	sessionsDisc      atomic.Int64
 	sessionsFailed    atomic.Int64
 	sessionsRejected  atomic.Int64
+	// sessionsShed counts connections refused with a retryable Busy frame
+	// under the shed admission policy (Config.Shed).
+	sessionsShed atomic.Int64
+	// sessionFailures counts panics converted to terminal error frames at
+	// a containment boundary (session run, conn handler, teardown). One
+	// incident can both fail a session (sessionsFailed, by terminal code)
+	// and count here; this counter is the panic-specific alarm.
+	sessionFailures atomic.Int64
 
 	warningsStreamed atomic.Int64
 }
@@ -97,6 +105,8 @@ type Snapshot struct {
 	SessionsDisconnected int64 `json:"sessions_disconnected"`
 	SessionsFailed       int64 `json:"sessions_failed"`
 	SessionsRejected     int64 `json:"sessions_rejected"`
+	SessionsShed         int64 `json:"sessions_shed"`
+	SessionFailures      int64 `json:"session_failures"`
 
 	Runs            int64   `json:"runs"`
 	Events          int64   `json:"events"`
@@ -153,6 +163,8 @@ func (s *Server) Snapshot() Snapshot {
 		SessionsDisconnected: m.sessionsDisc.Load(),
 		SessionsFailed:       m.sessionsFailed.Load(),
 		SessionsRejected:     m.sessionsRejected.Load(),
+		SessionsShed:         m.sessionsShed.Load(),
+		SessionFailures:      m.sessionFailures.Load(),
 		Runs:                 m.stats.Runs.Load(),
 		Events:               m.stats.Events.Load(),
 		ShadowBytes:          m.stats.ShadowBytes.Load(),
@@ -258,6 +270,8 @@ func (snap Snapshot) prometheus() string {
 	c("sessions_disconnected", "sessions ended by client disconnect or write stall", snap.SessionsDisconnected)
 	c("sessions_failed", "sessions ended by a run failure", snap.SessionsFailed)
 	c("sessions_rejected", "connections refused before admission", snap.SessionsRejected)
+	c("sessions_shed", "connections shed with a retryable busy frame", snap.SessionsShed)
+	c("session_failures", "panics contained and converted to session errors", snap.SessionFailures)
 	c("runs_total", "detector runs completed", snap.Runs)
 	c("events_total", "events detected over completed runs", snap.Events)
 	c("live_events_total", "events including in-flight sessions", snap.LiveEvents)

@@ -47,12 +47,24 @@ const (
 	// FrameError (server → client): the session's terminal error; a
 	// WireError body.
 	FrameError FrameType = 'E'
+	// FrameBusy (server → client): the server shed the request under its
+	// admission budget (Config.Shed); a Busy body. Terminal for the
+	// connection, retryable by contract — the client Retry helper backs
+	// off and re-sends, resuming at the first run the server never
+	// completed.
+	FrameBusy FrameType = 'B'
 )
 
 // maxFrameBytes bounds one frame's payload; anything larger is a protocol
 // error (fail loud on garbage or a stream desync, never allocate from a
 // corrupt length word).
 const maxFrameBytes = 1 << 20
+
+// maxRequestBytes bounds the client's request frame specifically: a
+// SessionRequest is a few hundred bytes of JSON, so a length word anywhere
+// near the general frame limit is garbage, not a big request — reject it
+// before allocating a megabyte on an adversarial header.
+const maxRequestBytes = 16 << 10
 
 // Session error codes (WireError.Code).
 const (
@@ -74,6 +86,14 @@ const (
 	// CodeRunFailed: the vm rejected or aborted the workload (step limit,
 	// deadlock, invalid program).
 	CodeRunFailed = "run-failed"
+	// CodeTimeout: a run exceeded the server's per-run deadline
+	// (raced -run-timeout).
+	CodeTimeout = "run-timeout"
+	// CodeInternal: the session crashed inside the server — a workload or
+	// detector panic converted into this terminal frame by the session's
+	// panic containment. The process survives; the session counts into
+	// raced_session_failures.
+	CodeInternal = "internal"
 )
 
 // SessionRequest opens a detection session: one workload under one tool
@@ -102,6 +122,10 @@ type SessionRequest struct {
 	SegmentEvents int  `json:"segment_events,omitempty"`
 	// AdaptiveSegments sizes overlap segments from observed stalls.
 	AdaptiveSegments bool `json:"adaptive_segments,omitempty"`
+	// GCEvents overrides the quiescence shadow-GC cycle period in events
+	// (0 keeps detect.DefaultGCEvents). Only meaningful while the server
+	// runs with the GC enabled; reports are byte-identical at any period.
+	GCEvents int64 `json:"gc_events,omitempty"`
 }
 
 // Accepted acknowledges a valid request.
@@ -246,6 +270,26 @@ func (r *RunResult) Report(warnings []WireWarning) (*detect.Report, error) {
 	return rep, nil
 }
 
+// Busy is the body of a FrameBusy: the server declined the session under
+// its admission budget. Unlike a WireError it carries a retry contract —
+// the request was never started, so re-sending it verbatim is safe.
+type Busy struct {
+	// RetryAfterMs is the server's backoff suggestion.
+	RetryAfterMs int64 `json:"retry_after_ms"`
+	// ActiveSessions is the load at rejection time.
+	ActiveSessions int64  `json:"active_sessions"`
+	Reason         string `json:"reason,omitempty"`
+}
+
+// Error renders the busy rejection as a Go error, so clients can surface
+// it unhandled; the Retry helper matches it with errors.As instead.
+func (b *Busy) Error() string {
+	if b.Reason == "" {
+		return "raced: busy"
+	}
+	return "raced: busy: " + b.Reason
+}
+
 // WireError is the terminal frame of a failed session.
 type WireError struct {
 	Code    string `json:"code"`
@@ -268,6 +312,7 @@ type Frame struct {
 	Warning  *WireWarning
 	Result   *RunResult
 	Err      *WireError
+	Busy     *Busy
 }
 
 // WriteFrame encodes one frame onto w.
@@ -291,12 +336,20 @@ func WriteFrame(w io.Writer, t FrameType, body any) error {
 
 // readRawFrame reads one frame's type and payload bytes.
 func readRawFrame(r io.Reader) (FrameType, []byte, error) {
+	return readRawFrameLimit(r, maxFrameBytes)
+}
+
+// readRawFrameLimit is readRawFrame under an explicit payload bound,
+// checked against the length word before anything is allocated — a
+// corrupt or adversarial header costs four bytes of reading, nothing
+// else.
+func readRawFrameLimit(r io.Reader, limit uint32) (FrameType, []byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n < 1 || n > maxFrameBytes {
+	if n < 1 || n > limit {
 		return 0, nil, fmt.Errorf("serve: frame length %d out of range", n)
 	}
 	payload := make([]byte, n)
@@ -327,6 +380,9 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	case FrameError:
 		fr.Err = &WireError{}
 		dst = fr.Err
+	case FrameBusy:
+		fr.Busy = &Busy{}
+		dst = fr.Busy
 	default:
 		return nil, fmt.Errorf("serve: unexpected frame type %q", byte(t))
 	}
@@ -336,9 +392,12 @@ func ReadFrame(r io.Reader) (*Frame, error) {
 	return fr, nil
 }
 
-// readRequest reads the client's opening request frame.
+// readRequest reads the client's opening request frame. The bound is the
+// tight request limit, not the general frame limit: on a garbage or
+// adversarial length word the connection is rejected before any large
+// allocation.
 func readRequest(r io.Reader) (*SessionRequest, error) {
-	t, body, err := readRawFrame(r)
+	t, body, err := readRawFrameLimit(r, maxRequestBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -10,12 +10,16 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adhocrace/internal/fault"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
 )
@@ -42,6 +46,33 @@ type Config struct {
 	// WriteStallTimeout declares a client dead when one frame write blocks
 	// this long (default 60s; <0 disables).
 	WriteStallTimeout time.Duration
+	// RunTimeout bounds each run's wall-clock time (detect.RunOpts.
+	// Deadline, polled by the vm alongside the interrupt flag). A run that
+	// exceeds it ends the session with a CodeTimeout error frame. 0 (the
+	// default) disables the deadline.
+	RunTimeout time.Duration
+
+	// Shed switches admission at the session cap from evict-oldest to load
+	// shedding: a request arriving with no free session slot — or, with
+	// MemoryBudgetBytes set, while heap occupancy exceeds the budget — is
+	// answered with a retryable Busy frame and the connection closed,
+	// instead of evicting the oldest running session. Running sessions are
+	// never disturbed under this policy; the client Retry helper turns the
+	// Busy into capped backoff.
+	Shed bool
+	// MemoryBudgetBytes, with Shed, adds a heap-occupancy gate to
+	// admission: requests are shed while the process's heap-in-use exceeds
+	// the budget, even when session slots are free. 0 disables the gate.
+	// (Eviction would not help here — cancelling a session frees its
+	// memory only after GC — so the budget sheds rather than evicts under
+	// either policy's cap handling.)
+	MemoryBudgetBytes int64
+
+	// Fault, when non-nil, arms the server's and every session pipeline's
+	// named failpoints (internal/fault) — the chaos suite's injection
+	// handle. Nil (the default, and the only production configuration
+	// unless -failpoints asks otherwise) keeps every site a nil-check.
+	Fault *fault.Registry
 
 	// DisableShadowGC turns off the quiescence shadow-state GC
 	// (detect.RunOpts.GCShadow) that sessions otherwise run with. The GC is
@@ -102,6 +133,12 @@ type Server struct {
 	// tokens is the admission semaphore: one token per running session.
 	tokens chan struct{}
 
+	// memSampledAt/memHeap cache the heap-occupancy gauge behind the shed
+	// gate — ReadMemStats stops the world briefly, so admission samples it
+	// at most once per memSampleInterval.
+	memSampledAt atomic.Int64
+	memHeap      atomic.Int64
+
 	mu        sync.Mutex
 	sessions  map[uint64]*session
 	nextID    uint64
@@ -123,7 +160,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
-		cache:    newPreparedCache(),
+		cache:    newPreparedCache(cfg.Fault),
 		pool:     sched.NewPool(cfg.Workers),
 		metrics:  newMetrics(),
 		obs:      obs.New(),
@@ -237,14 +274,39 @@ func (s *Server) ActiveSessions() int {
 
 // handleConn serves one connection = one session, joining every session
 // goroutine before it returns — the no-leak invariant the lifecycle tests
-// assert.
+// assert. It is also the process's panic containment boundary: nothing a
+// single connection does — a garbage frame, a workload that panics at
+// build time, an injected fault anywhere below — may take down the
+// server or any other session.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.connWG.Done()
 	defer conn.Close()
+	// Registered before conn.Close so the recovery path can still answer
+	// the client best-effort. When the session exists, its teardown defer
+	// (registered later, so it runs first) has already joined every
+	// session goroutine by the time this fires — panics convert to a
+	// counted failure, never to a leak.
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.sessionFailures.Add(1)
+			s.rejectConn(conn, CodeInternal, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+
+	if err := s.cfg.Fault.Fire(fault.ServeAccept); err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeInternal, err.Error())
+		return
+	}
 
 	// The request must arrive promptly; a connection that never sends one
 	// must not hold resources.
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	if err := s.cfg.Fault.Fire(fault.ServeFrameRead); err != nil {
+		s.metrics.sessionsRejected.Add(1)
+		s.rejectConn(conn, CodeInternal, err.Error())
+		return
+	}
 	req, err := readRequest(conn)
 	if err != nil {
 		s.metrics.sessionsRejected.Add(1)
@@ -267,14 +329,34 @@ func (s *Server) handleConn(conn net.Conn) {
 	prep, err := s.cache.get(req.Workload)
 	if err != nil {
 		s.metrics.sessionsRejected.Add(1)
-		s.rejectConn(conn, CodeBadRequest, err.Error())
+		code := CodeBadRequest
+		if errors.Is(err, fault.ErrInjected) {
+			code = CodeInternal
+		}
+		s.rejectConn(conn, code, err.Error())
 		return
+	}
+
+	// Shed-policy admission happens before the session exists: saturation
+	// answers a retryable Busy frame instead of evicting a running victim.
+	preAdmitted := false
+	if s.cfg.Shed {
+		ok, reason := s.shedAdmit()
+		if !ok {
+			s.metrics.sessionsShed.Add(1)
+			s.rejectBusy(conn, reason)
+			return
+		}
+		preAdmitted = true
 	}
 
 	// Register. Under drain no new sessions start.
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
+		if preAdmitted {
+			s.tokens <- struct{}{}
+		}
 		s.metrics.sessionsRejected.Add(1)
 		s.rejectConn(conn, CodeDraining, "server is draining")
 		return
@@ -286,9 +368,12 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	go ss.writeLoop()
 	go ss.readWatch()
+	// Teardown is deferred from the moment the session's goroutines exist:
+	// even a panic unwinding this handler leaves nothing behind.
+	defer s.teardown(ss, conn)
 	ss.send(FrameAccepted, &Accepted{SessionID: ss.id, Workload: req.Workload, Config: cfg.Name})
 
-	if s.admit(ss) {
+	if preAdmitted || s.admit(ss) {
 		s.metrics.sessionStarted()
 		runDone := make(chan struct{})
 		s.pool.SubmitBalanced(func() {
@@ -303,10 +388,25 @@ func (s *Server) handleConn(conn net.Conn) {
 		ss.setFinal(ss.cancelCode(), "session canceled before admission")
 		s.metrics.sessionsRejected.Add(1)
 	}
+}
 
-	// Teardown: mark done (readWatch stops counting disconnects), drop the
-	// session from the registry, join the writer, close the conn (which
-	// unblocks the reader), join the reader.
+// teardown unwinds a session: mark done (readWatch stops counting
+// disconnects), drop the session from the registry, join the writer,
+// close the conn (which unblocks the reader), join the reader. Runs
+// deferred, so it completes even when the handler panics — and the
+// teardown failpoint is contained right here for the same reason: an
+// injected teardown panic must not skip the joins below it.
+func (s *Server) teardown(ss *session, conn net.Conn) {
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				s.metrics.sessionFailures.Add(1)
+			}
+		}()
+		if err := s.cfg.Fault.Fire(fault.ServeTeardown); err != nil {
+			panic(err)
+		}
+	}()
 	ss.state.Store(stateDone)
 	s.mu.Lock()
 	delete(s.sessions, ss.id)
@@ -316,6 +416,53 @@ func (s *Server) handleConn(conn net.Conn) {
 	conn.Close()
 	<-ss.readerDone
 	ss.finishObs()
+}
+
+// shedAdmit is the non-blocking admission gate of the shed policy: the
+// memory budget first (a full heap is not cured by evicting — see
+// Config.MemoryBudgetBytes), then a token grab that refuses to wait.
+func (s *Server) shedAdmit() (ok bool, reason string) {
+	if s.memOverBudget() {
+		return false, "memory budget"
+	}
+	select {
+	case <-s.tokens:
+		return true, ""
+	default:
+		return false, "session budget"
+	}
+}
+
+// memSampleInterval caps how often the shed gate re-reads MemStats.
+const memSampleInterval = 100 * time.Millisecond
+
+// memOverBudget samples heap occupancy against the configured budget,
+// refreshing the cached gauge at most once per memSampleInterval.
+func (s *Server) memOverBudget() bool {
+	if s.cfg.MemoryBudgetBytes <= 0 {
+		return false
+	}
+	now := time.Now().UnixNano()
+	if last := s.memSampledAt.Load(); now-last >= int64(memSampleInterval) &&
+		s.memSampledAt.CompareAndSwap(last, now) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		s.memHeap.Store(int64(ms.HeapInuse))
+	}
+	return s.memHeap.Load() > s.cfg.MemoryBudgetBytes
+}
+
+// busyRetryAfterMs is the backoff hint sent with a Busy rejection.
+const busyRetryAfterMs = 200
+
+// rejectBusy sheds a connection with a retryable Busy frame.
+func (s *Server) rejectBusy(conn net.Conn, reason string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	WriteFrame(conn, FrameBusy, &Busy{
+		RetryAfterMs:   busyRetryAfterMs,
+		ActiveSessions: int64(s.ActiveSessions()),
+		Reason:         reason,
+	})
 }
 
 // rejectConn answers a connection that never became a session.
@@ -343,6 +490,9 @@ func normalize(req *SessionRequest) error {
 	}
 	if req.SegmentEvents < -1 || req.SegmentEvents > 1<<20 {
 		return fmt.Errorf("segment size %d out of range", req.SegmentEvents)
+	}
+	if req.GCEvents < 0 || req.GCEvents > 1<<20 {
+		return fmt.Errorf("gc period %d out of range", req.GCEvents)
 	}
 	return nil
 }

@@ -12,6 +12,7 @@ import (
 
 	"adhocrace/internal/detect"
 	"adhocrace/internal/event"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/vm"
 )
@@ -177,6 +178,19 @@ func (ss *session) cancelCode() string {
 // chain the observability layer accounts for (outbox occupancy sampled on
 // every send, stall time when the queue is full).
 func (ss *session) send(t FrameType, body any) bool {
+	// A canceled session sends nothing more. Without this gate a frame
+	// dropped on cancel could be followed by later frames that still find
+	// outbox room, handing the client a self-inconsistent stream instead
+	// of a terminal error.
+	if ss.canceled() {
+		return false
+	}
+	if err := ss.srv.cfg.Fault.Fire(fault.ServeOutboxSend); err != nil {
+		// An injected outbox failure is a lost client: cancel like a
+		// disconnect so the run unwinds through its normal exit.
+		ss.cancelWith(CodeDisconnected)
+		return false
+	}
 	ss.obs.Observe(obs.HistOutboxDepth, int64(len(ss.outbox)))
 	select {
 	case ss.outbox <- outFrame{t, body}:
@@ -207,6 +221,18 @@ func (ss *session) setFinal(code, msg string) {
 // a fresh detector over the shared Prepared; warnings stream through the
 // outbox as the detector produces them, then the run's result frame.
 func (ss *session) run() {
+	// Panic containment: a panic below — an injected pipeline fault, a
+	// workload bug, a detector bug — converts to a terminal internal-error
+	// frame on this session; the process and every other session survive.
+	// The recover must live here rather than rely on the pool: workers
+	// re-raise stored panics at pool.Close, which would crash Drain.
+	defer func() {
+		if r := recover(); r != nil {
+			ss.srv.metrics.sessionFailures.Add(1)
+			ss.setFinal(CodeInternal, fmt.Sprintf("session crashed: %v", r))
+			ss.cancelWith(CodeInternal)
+		}
+	}()
 	ss.state.Store(stateRunning)
 	ss.obs.Add(obs.CtrSessions, 1)
 	run := 0
@@ -215,6 +241,8 @@ func (ss *session) run() {
 		SegmentEvents:    ss.req.SegmentEvents,
 		AdaptiveSegments: ss.req.AdaptiveSegments,
 		GCShadow:         !ss.srv.cfg.DisableShadowGC,
+		GCEvents:         ss.req.GCEvents,
+		Fault:            ss.srv.cfg.Fault,
 		Obs:              ss.obs,
 		Tap:              &ss.tap,
 		Interrupt:        &ss.stop,
@@ -233,16 +261,24 @@ func (ss *session) run() {
 			return
 		}
 		seed := ss.req.Seed + int64(run)
+		if d := ss.srv.cfg.RunTimeout; d > 0 {
+			opts.Deadline = time.Now().Add(d)
+		}
 		span := ss.obs.BeginSpan() // trace mode only
 		rep, res, err := ss.prep.Run(ss.cfg, seed, opts)
 		if span != 0 {
 			ss.obs.SpanNamed(obs.TrackSession, fmt.Sprintf("run %d seed %d", run, seed), span, ss.tap.Total())
 		}
 		if err != nil {
-			if errors.Is(err, vm.ErrInterrupted) {
+			switch {
+			case errors.Is(err, vm.ErrInterrupted):
 				ss.setFinal(ss.cancelCode(), "session canceled mid-run")
-			} else {
+			case errors.Is(err, vm.ErrDeadline):
+				ss.setFinal(CodeTimeout, fmt.Sprintf("run %d exceeded the server run timeout", run))
+				ss.cancelWith(CodeTimeout)
+			default:
 				ss.setFinal(CodeRunFailed, err.Error())
+				ss.cancelWith(CodeRunFailed)
 			}
 			return
 		}
@@ -266,7 +302,7 @@ func (ss *session) writeLoop() {
 		if dead {
 			continue
 		}
-		if err := ss.writeFrame(fr); err != nil {
+		if err := ss.safeWriteFrame(fr); err != nil {
 			dead = true
 			if errors.Is(err, os.ErrDeadlineExceeded) {
 				ss.cancelWith(CodeWriteStall)
@@ -281,14 +317,29 @@ func (ss *session) writeLoop() {
 			// Best effort: bound the terminal write so a dead client cannot
 			// stall teardown.
 			ss.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-			ss.writeFrame(fr)
+			ss.safeWriteFrame(fr)
 		}
 	default:
 	}
 }
 
+// safeWriteFrame is writeFrame with panic containment: the write path
+// hosts a panic-capable failpoint and json-encodes arbitrary bodies, and
+// the writer goroutine must survive to keep draining the outbox.
+func (ss *session) safeWriteFrame(fr outFrame) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: frame write panic: %v", r)
+		}
+	}()
+	return ss.writeFrame(fr)
+}
+
 // writeFrame writes one frame under the configured stall budget.
 func (ss *session) writeFrame(fr outFrame) error {
+	if err := ss.srv.cfg.Fault.Fire(fault.ServeFrameWrite); err != nil {
+		return err
+	}
 	if d := ss.srv.cfg.WriteStallTimeout; d > 0 {
 		ss.conn.SetWriteDeadline(time.Now().Add(d))
 	}

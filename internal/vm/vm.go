@@ -13,8 +13,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"adhocrace/internal/event"
+	"adhocrace/internal/fault"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/spin"
@@ -57,18 +59,33 @@ type Options struct {
 	// the flag may be set from any goroutine, and the vm notices within one
 	// scheduler quantum.
 	Interrupt *atomic.Bool
+	// Deadline, when non-zero, aborts the run with ErrDeadline once the
+	// wall clock passes it. Polled every deadlinePollQuanta scheduler
+	// quanta — the scheduler loop stays clock-free between polls — so the
+	// vm notices within a few thousand instructions, microseconds against
+	// any useful timeout. The server's per-run timeout hook.
+	Deadline time.Time
 	// Obs, when non-nil, records execution-side observability: step and
 	// quantum counters, per-quantum spans (trace mode only — the scheduler
 	// loop stays clock-free otherwise), and the overlap pipeline's segment
 	// sizes and stall times. Nil (the default) compiles every probe down
 	// to a nil-check.
 	Obs *obs.Pipeline
+	// Fault, when non-nil, arms the overlap pipeline's segment-rotation
+	// failpoint (handed to event.Segmented; the vm itself carries no
+	// site). Nil keeps it a nil-check.
+	Fault *fault.Registry
 }
 
 const (
 	defaultMaxSteps   = 4 << 20
 	defaultQuantumMax = 12
 	maxMemoryWords    = 1 << 22
+	// deadlinePollQuanta spaces Options.Deadline clock reads: one
+	// time.Now() per this many scheduler quanta (a few thousand
+	// instructions), so the deadline costs nothing measurable between
+	// polls yet still triggers at microsecond granularity.
+	deadlinePollQuanta = 256
 )
 
 // ErrStepLimit is returned when the run exceeds MaxSteps.
@@ -79,6 +96,9 @@ var ErrDeadlock = errors.New("vm: deadlock: all live threads blocked")
 
 // ErrInterrupted is returned when Options.Interrupt stopped the run.
 var ErrInterrupted = errors.New("vm: run interrupted")
+
+// ErrDeadline is returned when Options.Deadline expired mid-run.
+var ErrDeadline = errors.New("vm: run deadline exceeded")
 
 // Result summarizes a completed run.
 type Result struct {
@@ -160,6 +180,10 @@ type VM struct {
 	// sink then points at it and Run owns its shutdown.
 	seg *event.Segmented
 	ev  event.Event // scratch, reused across emissions
+	// deadlineTick counts quanta until the next Options.Deadline poll;
+	// primed so the first quantum checks, making an already-expired
+	// deadline abort deterministically before any real work.
+	deadlineTick int
 }
 
 // New prepares a run of the program.
@@ -193,8 +217,10 @@ func New(p *ir.Program, opts Options) *VM {
 			v.seg = event.NewSegmented(opts.Sink, size)
 		}
 		v.seg.SetObs(opts.Obs)
+		v.seg.SetFault(opts.Fault)
 		v.sink = v.seg
 	}
+	v.deadlineTick = deadlinePollQuanta - 1
 	return v
 }
 
@@ -240,6 +266,14 @@ func (v *VM) run() (Result, error) {
 	for {
 		if v.opts.Interrupt != nil && v.opts.Interrupt.Load() {
 			return v.result(), ErrInterrupted
+		}
+		if !v.opts.Deadline.IsZero() {
+			if v.deadlineTick++; v.deadlineTick >= deadlinePollQuanta {
+				v.deadlineTick = 0
+				if time.Now().After(v.opts.Deadline) {
+					return v.result(), ErrDeadline
+				}
+			}
 		}
 		if len(v.runnable) == 0 {
 			if v.allDone() {
