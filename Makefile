@@ -9,7 +9,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2025.1.1
 GOVULNCHECK_VERSION ?= v1.1.4
 
-.PHONY: all build test race bench bench-compare fuzz-smoke fuzz-proto fmt-check vet doc-check static soak-smoke memory-smoke conformance chaos-smoke trace-smoke ci tables
+.PHONY: all build test race bench bench-compare bench-scaling scaling-smoke fuzz-smoke fuzz-proto fmt-check vet doc-check static soak-smoke memory-smoke conformance chaos-smoke trace-smoke ci tables
 
 all: build
 
@@ -24,25 +24,39 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Bench smoke: one iteration of the slide-24 accuracy table, enough to
-# catch a broken benchmark harness without burning CI minutes — and it
-# records the run as BENCH_<date>.json (a `go test -json` stream;
+# Bench smoke: the slide-24 accuracy table plus the replay events/sec
+# scaling benchmark (shards 1/2/4/8 over one recorded stream), in one
+# `go test` run recorded as BENCH_<date>.json (a `go test -json` stream;
 # benchstat-recoverable, see scripts/bench-save.sh) so the perf
 # trajectory is tracked commit over commit. Run
 # `go test -bench=. -benchtime=1x` to regenerate every table and figure.
 bench:
-	GO=$(GO) sh scripts/bench-save.sh BenchmarkTable1
+	GO=$(GO) sh scripts/bench-save.sh
 
 # Diff the two most recent BENCH_*.json records (or any two passed as
 # OLD=/NEW=): ns/op, B/op, allocs/op per benchmark with relative change.
 bench-compare:
 	sh scripts/bench-compare.sh $(OLD) $(NEW)
 
+# Events/sec scaling harness: record a trace, replay it at shards 1/2/4/8
+# (byte-identical reports asserted), and save the replay benchmark as a
+# BENCH record. See scripts/bench-scaling.sh.
+bench-scaling:
+	GO=$(GO) sh scripts/bench-scaling.sh
+
+# Record/replay determinism gate: a tiny trace replayed at shards 1 and 2
+# must produce byte-identical reports (fingerprint equality).
+scaling-smoke:
+	GO=$(GO) sh scripts/scaling-smoke.sh
+
 # Differential fuzz smoke: a bounded, fixed-seed corpus (200 generated
 # programs, all tool presets, 2-shard detectors) scored against the
 # synthesis engine's ground-truth oracle; fails on any oracle-vs-spin
-# disagreement. See cmd/racefuzz and docs/ARCHITECTURE.md.
+# disagreement — plus 10s of coverage-guided fuzzing over the binary
+# trace decoder (no panics, bounded allocation on corrupt headers). See
+# cmd/racefuzz and docs/ARCHITECTURE.md.
 fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzTraceDecode -fuzztime 10s ./internal/event/
 	$(GO) run ./cmd/racefuzz -n 200 -shards 2 -strict
 
 fmt-check:
@@ -114,7 +128,7 @@ trace-smoke:
 # epoch-read and clock-store references, under -race — and the server
 # conformance suite as named steps before the race suite, purely so those
 # breaks fail with their own labels; `race` covers them.)
-ci: fmt-check vet doc-check static build conformance chaos-smoke race soak-smoke memory-smoke trace-smoke bench fuzz-proto fuzz-smoke
+ci: fmt-check vet doc-check static build conformance chaos-smoke race soak-smoke memory-smoke trace-smoke scaling-smoke bench fuzz-proto fuzz-smoke
 
 # Regenerate the paper's tables and figures.
 tables:

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"adhocrace/internal/detect"
 	"adhocrace/internal/event"
 	"adhocrace/internal/harness"
+	"adhocrace/internal/ir"
 	"adhocrace/internal/sched"
 	"adhocrace/internal/vm"
 	"adhocrace/internal/workloads/parsec"
@@ -207,6 +209,71 @@ func BenchmarkDetectorSharded(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// replayFixture records the x264/spin(7) event stream as an in-memory
+// binary trace once per process — the fixed input every replay benchmark
+// iteration decodes and detects against.
+var (
+	replayFixtureOnce sync.Once
+	replayFixtureBuf  []byte
+	replayFixtureProg *ir.Program
+	replayFixtureCfg  detect.Config
+	replayFixtureErr  error
+)
+
+func replayFixture(b *testing.B) ([]byte, *ir.Program, detect.Config) {
+	b.Helper()
+	replayFixtureOnce.Do(func() {
+		m, ok := parsec.ByName("x264")
+		if !ok {
+			replayFixtureErr = fmt.Errorf("no x264 model")
+			return
+		}
+		replayFixtureProg = m.Build()
+		replayFixtureCfg = detect.HelgrindPlusLibSpin(7)
+		var buf bytes.Buffer
+		_, _, err := detect.RecordTrace(&buf, replayFixtureProg, replayFixtureCfg, 1,
+			event.TraceMeta{Workload: "x264", Tool: "spin", Window: 7, Seed: 1})
+		if err != nil {
+			replayFixtureErr = err
+			return
+		}
+		replayFixtureBuf = buf.Bytes()
+	})
+	if replayFixtureErr != nil {
+		b.Fatal(replayFixtureErr)
+	}
+	return replayFixtureBuf, replayFixtureProg, replayFixtureCfg
+}
+
+// BenchmarkReplayEventsPerSec is the scaling harness's benchmark form:
+// the same recorded stream decoded and pushed through detectors at 1, 2,
+// 4, and 8 shard workers, with throughput reported as events/sec. No vm
+// runs inside the timed loop — this isolates trace decode + detection,
+// the replay hot path. scripts/bench-scaling.sh records these results as
+// a BENCH_*.json record; bench-compare.sh gates on their ns/op.
+func BenchmarkReplayEventsPerSec(b *testing.B) {
+	data, prog, cfg := replayFixture(b)
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards-%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events int64
+			for i := 0; i < b.N; i++ {
+				tr, err := event.NewTraceReader(bytes.NewReader(data))
+				if err != nil {
+					b.Fatal(err)
+				}
+				_, n, err := detect.ReplayTrace(tr, prog, cfg, detect.RunOpts{Shards: shards})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = n
+			}
+			b.ReportMetric(float64(events)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
 }
 

@@ -5,6 +5,8 @@
 // Usage:
 //
 //	racedetect -w <workload> [-tool lib|spin|nolib|drd|eraser] [-window 7] [-seed 1] [-seeds N] [-shards N] [-overlap] [-overlap-adaptive] [-v]
+//	racedetect -w <workload> [-tool ...] [-seed 1] -record out.trace
+//	racedetect -replay in.trace [-shards N] [-fingerprint]
 //
 // Workloads: any PARSEC model name (x264, dedup, ...), a data-race-test
 // case name (adhoc_spin11_b7_atomic_long, ww_two_threads, ...), or a
@@ -35,15 +37,28 @@
 // in chrome://tracing or Perfetto. -gc-events shortens the shadow-GC
 // cycle period (with -gc-shadow) so short workloads exercise GC cycles
 // too.
+//
+// With -record the workload runs once with no detector and its event
+// stream is written as a binary trace (internal/event's record/replay
+// format, with the workload/tool/seed provenance and interning tables in
+// the header). With -replay a recorded trace is fed straight into a
+// detector — no vm in the loop — honoring -shards/-gc-shadow; the
+// workload and tool come from the trace header, and the report is
+// byte-identical to the live run's. -fingerprint appends a fingerprint=
+// line (a digest of the full report) so scripts can compare runs cheaply
+// — the scaling smoke asserts shards-1 and shards-2 replays match.
 package main
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"adhocrace/internal/detect"
+	"adhocrace/internal/event"
 	"adhocrace/internal/harness"
 	"adhocrace/internal/ir"
 	"adhocrace/internal/obs"
@@ -67,10 +82,20 @@ func main() {
 	trace := flag.String("trace", "", "write Chrome trace-event JSON of the run's pipeline spans to this file")
 	verbose := flag.Bool("v", false, "print every warning, not just the summary")
 	list := flag.Bool("list", false, "list available workloads")
+	record := flag.String("record", "", "record the run's event stream as a binary trace to this file (no detector)")
+	replayPath := flag.String("replay", "", "replay a recorded binary trace through a detector (workload/tool from the header)")
+	fingerprint := flag.Bool("fingerprint", false, "print a fingerprint= digest of the full report, for script-level comparisons")
 	flag.Parse()
 
 	if *list {
 		fmt.Print(workloads.FormatList())
+		return
+	}
+	if *replayPath != "" {
+		if err := runReplay(*replayPath, *shards, *gcShadow, *gcEvents, *fingerprint, *verbose); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
+			os.Exit(1)
+		}
 		return
 	}
 	build, ok := workloads.Find(*workload)
@@ -83,6 +108,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *record != "" {
+		if err := runRecord(*record, build, *workload, cfg, *tool, *window, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "racedetect: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	opts := detect.RunOpts{Shards: *shards, GCShadow: *gcShadow, GCEvents: *gcEvents}
@@ -130,6 +163,9 @@ func main() {
 	fmt.Printf("  spin loops classified: %d, happens-before edges injected: %d\n",
 		rep.SpinLoops, rep.SpinEdges)
 	fmt.Printf("  warnings: %d, racy contexts: %d\n", len(rep.Warnings), rep.RacyContexts())
+	if *fingerprint {
+		printFingerprint(rep)
+	}
 	if *stats {
 		printStats([]*detect.Report{rep}, elapsed)
 		if *overlap {
@@ -152,6 +188,84 @@ func main() {
 			fmt.Printf("    racy context at %s\n", loc)
 		}
 	}
+}
+
+// runRecord executes the workload once with no detector, streaming its
+// event stream into a binary trace file.
+func runRecord(path string, build func() *ir.Program, workload string,
+	cfg detect.Config, tool string, window int, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	res, n, err := detect.RecordTrace(f, build(), cfg, seed, event.TraceMeta{
+		Workload: workload, Tool: tool, Window: window, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %s under %s (seed %d): %d events (%d steps, %d threads) -> %s (%d bytes)\n",
+		workload, cfg.Name, seed, n, res.Steps, res.Threads, path, info.Size())
+	return nil
+}
+
+// runReplay feeds a recorded trace into a fresh detector with no vm: the
+// workload and tool configuration are rebuilt from the trace header, and
+// the detector runs at the requested shard count.
+func runReplay(path string, shards int, gcShadow bool, gcEvents int64, fingerprint, verbose bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	tr, err := event.NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	meta := tr.Meta()
+	build, ok := workloads.Find(meta.Workload)
+	if !ok {
+		return fmt.Errorf("trace workload %q not in the registry (recorded elsewhere?)", meta.Workload)
+	}
+	cfg, err := serve.ToolConfig(meta.Tool, meta.Window)
+	if err != nil {
+		return fmt.Errorf("trace tool: %w", err)
+	}
+	start := time.Now()
+	rep, n, err := detect.ReplayTrace(tr, build(), cfg, detect.RunOpts{
+		Shards: shards, GCShadow: gcShadow, GCEvents: gcEvents,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay %s: workload %s under %s (recorded seed %d), shards=%d\n",
+		path, meta.Workload, cfg.Name, meta.Seed, shards)
+	fmt.Printf("  events=%d elapsed=%s events/sec=%.0f\n", n, elapsed, float64(n)/elapsed.Seconds())
+	fmt.Printf("  warnings: %d, racy contexts: %d\n", len(rep.Warnings), rep.RacyContexts())
+	if fingerprint {
+		printFingerprint(rep)
+	}
+	if verbose {
+		for _, w := range rep.Warnings {
+			fmt.Printf("    %s\n", w)
+		}
+	}
+	return nil
+}
+
+// printFingerprint emits a one-line digest of the full report — the same
+// byte-identity bar the equivalence suites use, hashed so scripts can
+// compare with a string equality.
+func printFingerprint(rep *detect.Report) {
+	fmt.Printf("fingerprint=%x\n", sha256.Sum256([]byte(harness.ReportFingerprint(rep))))
 }
 
 // runSeeds fans the workload out over seeds 1..n on the experiment

@@ -39,17 +39,30 @@
 // concurrently on the experiment engine, so the trace shows all jobs'
 // pipelines interleaved — one process group per job; for a single clean
 // timeline use racedetect -trace.
+//
+// -replay <trace> switches tables into the events/sec scaling harness:
+// a binary trace recorded by `racedetect -record` is replayed through
+// detectors at shards 1, 2, 4, and 8 — the identical event stream each
+// time, no vm in the loop — and the per-shard wall clock and events/sec
+// are printed as a scaling curve. Every replay's report is asserted
+// byte-identical to the shards-1 report before its row prints.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"adhocrace/internal/detect"
+	"adhocrace/internal/event"
 	"adhocrace/internal/harness"
 	"adhocrace/internal/obs"
 	"adhocrace/internal/sched"
+	"adhocrace/internal/serve"
+	"adhocrace/internal/workloads"
 )
 
 func main() {
@@ -63,7 +76,16 @@ func main() {
 	stats := flag.Bool("stats", false, "print aggregated pipeline stats after the tables")
 	trace := flag.String("trace", "", "write Chrome trace-event JSON of every job's pipeline spans to this file")
 	synthN := flag.Int64("synth-n", 100, "generated programs for the synth corpus table")
+	replayPath := flag.String("replay", "", "replay a recorded binary trace at shards 1/2/4/8 and print the scaling curve")
 	flag.Parse()
+
+	if *replayPath != "" {
+		if err := replayScaling(*replayPath); err != nil {
+			fmt.Fprintf(os.Stderr, "tables: replay: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	valid := map[string]bool{"all": true, "1": true, "2": true, "3": true,
 		"4": true, "5": true, "6": true, "perf": true, "synth": true}
@@ -166,6 +188,58 @@ func main() {
 		}
 		fmt.Printf("trace written to %s (load in chrome://tracing or Perfetto)\n", *trace)
 	}
+}
+
+// replayScaling is the events/sec scaling harness: one recorded stream,
+// four shard counts, byte-identical reports asserted, wall clock and
+// throughput per row.
+func replayScaling(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	head, err := event.NewTraceReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	meta := head.Meta()
+	build, ok := workloads.Find(meta.Workload)
+	if !ok {
+		return fmt.Errorf("trace workload %q not in the registry", meta.Workload)
+	}
+	cfg, err := serve.ToolConfig(meta.Tool, meta.Window)
+	if err != nil {
+		return fmt.Errorf("trace tool: %w", err)
+	}
+	prog := build()
+	fmt.Printf("Replay scaling — %s under %s (recorded seed %d), GOMAXPROCS=%d\n",
+		meta.Workload, cfg.Name, meta.Seed, runtime.GOMAXPROCS(0))
+	fmt.Printf("%-10s %14s %14s %14s %10s\n", "shards", "events", "elapsed", "events/sec", "speedup")
+	var baseFP string
+	var baseElapsed time.Duration
+	for _, shards := range []int{1, 2, 4, 8} {
+		tr, err := event.NewTraceReader(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		rep, n, err := detect.ReplayTrace(tr, prog, cfg, detect.RunOpts{Shards: shards})
+		elapsed := time.Since(start)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		fp := harness.ReportFingerprint(rep)
+		if shards == 1 {
+			baseFP, baseElapsed = fp, elapsed
+		} else if fp != baseFP {
+			return fmt.Errorf("shards=%d report differs from shards-1 (byte-identity violated)", shards)
+		}
+		fmt.Printf("%-10d %14d %14s %14.0f %9.2fx\n",
+			shards, n, elapsed.Round(time.Microsecond), float64(n)/elapsed.Seconds(),
+			baseElapsed.Seconds()/elapsed.Seconds())
+	}
+	fmt.Println("reports byte-identical across all shard counts")
+	return nil
 }
 
 func printParsec(title string, table func() (map[string]map[string]float64, []string, error)) error {

@@ -73,6 +73,10 @@ func (r *releaseState) bytes() int64 {
 type Engine struct {
 	hb  hb.Engine
 	ins *spin.Instrumentation
+	// tab resolves interned symbol ids; the instrumentation's condition
+	// symbols (strings, from the static phase) are translated through it
+	// once at construction so the per-event checks are integer map hits.
+	tab *ir.Interning
 
 	// mu guards syncAddrs and lockWords between IsSyncVar (read from
 	// shard workers) and OnSpinRead (written by the coordinator). The
@@ -88,14 +92,14 @@ type Engine struct {
 	InferLocks bool
 
 	// condSyms holds the static condition symbols of all classified loops.
-	condSyms map[string]bool
+	condSyms map[ir.SymID]bool
 	// syncAddrs holds addresses confirmed as spin conditions at run time.
 	syncAddrs map[int64]bool
 	// lockWords holds addresses classified as lock words (conditions of
 	// RMW spin loops), statically and dynamically.
 	lockWords map[int64]bool
 	// lockSyms holds the static condition symbols of RMW loops.
-	lockSyms map[string]bool
+	lockSyms map[ir.SymID]bool
 	// release holds the accumulated release history per condition location.
 	release map[int64]*releaseState
 	// lastRead tracks, per thread and loop, the last condition address the
@@ -120,35 +124,49 @@ type Engine struct {
 // guards, trylocks).
 func New(h hb.Engine, ins *spin.Instrumentation, prog *ir.Program) *Engine {
 	e := &Engine{hb: h, ins: ins}
+	if prog != nil {
+		e.tab = prog.Interning()
+	} else {
+		e.tab = ir.NewInterning()
+	}
 	if ins != nil {
 		// The classification and history maps exist only when the spin
 		// feature can populate them; the lib/DRD configurations (ins == nil)
 		// never touch them, so they skip the six map allocations per run.
-		e.condSyms = make(map[string]bool)
+		e.condSyms = make(map[ir.SymID]bool)
 		e.syncAddrs = make(map[int64]bool)
 		e.lockWords = make(map[int64]bool)
-		e.lockSyms = make(map[string]bool)
+		e.lockSyms = make(map[ir.SymID]bool)
 		e.release = make(map[int64]*releaseState)
 		e.lastRead = make(map[event.Tid]map[int]int64)
+		// The static phase works in strings; translate through the program's
+		// interning table. A condition symbol never loaded by an instruction
+		// resolves to NoSym, which is fine: an event can only ever carry a
+		// SymID the table handed out.
 		for _, s := range ins.CondSyms() {
-			e.condSyms[s] = true
+			if id := e.tab.SymOf(s); id != ir.NoSym {
+				e.condSyms[id] = true
+			}
 		}
 		for _, l := range ins.Loops {
 			if !l.HasRMW {
 				continue
 			}
 			for _, s := range l.CondSyms {
-				e.lockSyms[s] = true
+				if id := e.tab.SymOf(s); id != ir.NoSym {
+					e.lockSyms[id] = true
+				}
 			}
 		}
 		if prog != nil {
 			for _, g := range prog.Globals {
-				if !e.condSyms[g.Name] {
+				gid := e.tab.SymOf(g.Name)
+				if gid == ir.NoSym || !e.condSyms[gid] {
 					continue
 				}
 				for i := 0; i < g.Words; i++ {
 					e.syncAddrs[g.Addr+int64(i)*8] = true
-					if e.lockSyms[g.Name] {
+					if e.lockSyms[gid] {
 						e.lockWords[g.Addr+int64(i)*8] = true
 					}
 				}
@@ -157,6 +175,10 @@ func New(h hb.Engine, ins *spin.Instrumentation, prog *ir.Program) *Engine {
 	}
 	return e
 }
+
+// Table returns the interning table events in this run resolve against.
+// Warning formatting uses it to materialize symbol and location strings.
+func (e *Engine) Table() *ir.Interning { return e.tab }
 
 // IsLockWord reports whether the address has been classified as a lock
 // word (the condition of a CAS-acquire spin loop).
@@ -168,11 +190,11 @@ func (e *Engine) InferredLockWords() int { return len(e.lockWords) }
 // Enabled reports whether spin detection is active.
 func (e *Engine) Enabled() bool { return e.ins != nil && e.ins.NumLoops() >= 0 && e.ins.Window > 0 }
 
-// IsSyncVar reports whether an access to addr (with static symbol sym, if
-// any) belongs to a spin-loop condition — a synchronization variable whose
-// races are synchronization races, not data races. Safe to call from shard
-// workers concurrently with the coordinator.
-func (e *Engine) IsSyncVar(addr int64, sym string) bool {
+// IsSyncVar reports whether an access to addr (with interned static symbol
+// sym, if any) belongs to a spin-loop condition — a synchronization variable
+// whose races are synchronization races, not data races. Safe to call from
+// shard workers concurrently with the coordinator.
+func (e *Engine) IsSyncVar(addr int64, sym ir.SymID) bool {
 	if !e.Enabled() {
 		return false
 	}
@@ -182,7 +204,7 @@ func (e *Engine) IsSyncVar(addr int64, sym string) bool {
 	if hit {
 		return true
 	}
-	return sym != "" && e.condSyms[sym]
+	return sym != ir.NoSym && e.condSyms[sym]
 }
 
 // WriteActs reports whether OnWrite would mutate engine or clock state for
@@ -196,7 +218,7 @@ func (e *Engine) WriteActs(ev *event.Event) bool {
 		return false
 	}
 	return ev.Kind == event.KindAtomicWrite || e.syncAddrs[ev.Addr] ||
-		(ev.Sym != "" && e.condSyms[ev.Sym])
+		(ev.Sym != ir.NoSym && e.condSyms[ev.Sym])
 }
 
 // OnWrite records a write's release snapshot when the target can serve as a
@@ -212,7 +234,7 @@ func (e *Engine) OnWrite(ev *event.Event) {
 	}
 	cur := e.release[ev.Addr]
 	if e.InferLocks && ev.RMW && cur != nil &&
-		(e.lockWords[ev.Addr] || (ev.Sym != "" && e.lockSyms[ev.Sym])) {
+		(e.lockWords[ev.Addr] || (ev.Sym != ir.NoSym && e.lockSyms[ev.Sym])) {
 		// Lock-operation identification (the paper's future work): a
 		// successful RMW on a lock word is an acquire even when it
 		// happened on a fast path outside the spin loop — import the
@@ -251,7 +273,7 @@ func (e *Engine) OnSpinRead(ev *event.Event) {
 	e.SpinReads++
 	e.mu.Lock()
 	e.syncAddrs[ev.Addr] = true
-	if ev.SpinLoop >= 0 && ev.SpinLoop < len(e.ins.Loops) && e.ins.Loops[ev.SpinLoop].HasRMW {
+	if ev.SpinLoop >= 0 && int(ev.SpinLoop) < len(e.ins.Loops) && e.ins.Loops[ev.SpinLoop].HasRMW {
 		e.lockWords[ev.Addr] = true
 	}
 	e.mu.Unlock()
@@ -260,7 +282,7 @@ func (e *Engine) OnSpinRead(ev *event.Event) {
 		m = make(map[int]int64)
 		e.lastRead[ev.Tid] = m
 	}
-	m[ev.SpinLoop] = ev.Addr
+	m[int(ev.SpinLoop)] = ev.Addr
 }
 
 // OnSpinExit injects the happens-before edge from the counterpart write to
@@ -274,7 +296,7 @@ func (e *Engine) OnSpinExit(ev *event.Event) {
 	if m == nil {
 		return
 	}
-	addr, ok := m[ev.SpinLoop]
+	addr, ok := m[int(ev.SpinLoop)]
 	if !ok {
 		return
 	}
@@ -313,7 +335,7 @@ func (e *Engine) Quiesce(wm vc.Frozen) int64 {
 func (e *Engine) Bytes() int64 {
 	var n int64
 	for s := range e.condSyms {
-		n += int64(len(s)) + 16
+		n += int64(len(e.tab.SymName(s))) + 16
 	}
 	n += int64(len(e.syncAddrs)) * 16
 	for _, r := range e.release {

@@ -48,7 +48,7 @@ func TestDisabledWithoutInstrumentation(t *testing.T) {
 	if e.Enabled() {
 		t.Error("engine must be disabled without instrumentation")
 	}
-	if e.IsSyncVar(0, "FLAG") {
+	if e.IsSyncVar(0, ir.SymID(1)) {
 		t.Error("no sync vars when disabled")
 	}
 	e.OnWrite(&event.Event{Kind: event.KindWrite, Addr: 0})
@@ -62,13 +62,17 @@ func TestDisabledWithoutInstrumentation(t *testing.T) {
 func TestStaticSymResolution(t *testing.T) {
 	p, ins := buildFlagProgram(t, 7)
 	e := New(hb.New(), ins, p)
-	if !e.IsSyncVar(0, "") {
+	flag := p.Interning().SymOf("FLAG")
+	if flag == ir.NoSym {
+		t.Fatal("FLAG must be interned by the program build")
+	}
+	if !e.IsSyncVar(0, ir.NoSym) {
 		t.Error("FLAG's address must be a sync var statically (resolved from the symbol table)")
 	}
-	if !e.IsSyncVar(12345, "FLAG") {
+	if !e.IsSyncVar(12345, flag) {
 		t.Error("FLAG symbol must be a sync var regardless of address")
 	}
-	if e.IsSyncVar(8, "OTHER") {
+	if e.IsSyncVar(8, ir.SymID(999)) {
 		t.Error("unrelated symbol misclassified")
 	}
 }
@@ -81,7 +85,7 @@ func TestEdgeInjection(t *testing.T) {
 	// Writer (T1) ticks, writes FLAG; spinner (T2) reads and exits.
 	h.ClockOf(1).Tick(1)
 	writerSnap := h.Snapshot(1)
-	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0, Value: 1})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
 	if e.Edges != 1 {
@@ -112,10 +116,10 @@ func TestRMWReleaseSequenceAccumulates(t *testing.T) {
 	// must be ordered after both.
 	h.ClockOf(1).Tick(1)
 	snap1 := h.Snapshot(1)
-	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, RMW: true, Tid: 1, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, RMW: true, Tid: 1, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 	h.ClockOf(3).Tick(3)
 	snap3 := h.Snapshot(3)
-	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, RMW: true, Tid: 3, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, RMW: true, Tid: 3, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
@@ -132,9 +136,9 @@ func TestPlainWriteReplacesHistory(t *testing.T) {
 
 	h.ClockOf(1).Tick(1)
 	snap1 := h.Snapshot(1)
-	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 	// T3's plain write replaces T1's snapshot (last-write semantics).
-	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 3, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 3, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
@@ -151,7 +155,7 @@ func TestAtomicWriteAlwaysSnapshots(t *testing.T) {
 	// known symbol) still records a release snapshot.
 	h.ClockOf(1).Tick(1)
 	snap := h.Snapshot(1)
-	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, Tid: 1, Addr: 4096, Sym: ""})
+	e.OnWrite(&event.Event{Kind: event.KindAtomicWrite, Tid: 1, Addr: 4096, Sym: ir.NoSym})
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 4096, SpinLoop: 0})
 	e.OnSpinExit(&event.Event{Kind: event.KindSpinExit, Tid: 2, SpinLoop: 0})
 	if !orderedBelow(snap, h.ClockOf(2)) {
@@ -163,11 +167,11 @@ func TestDynamicDiscovery(t *testing.T) {
 	p, ins := buildFlagProgram(t, 7)
 	e := New(hb.New(), ins, p)
 	const addr = int64(8192)
-	if e.IsSyncVar(addr, "") {
+	if e.IsSyncVar(addr, ir.NoSym) {
 		t.Fatal("address should not be known yet")
 	}
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: addr, SpinLoop: 0})
-	if !e.IsSyncVar(addr, "") {
+	if !e.IsSyncVar(addr, ir.NoSym) {
 		t.Error("spin-read must mark the address dynamically")
 	}
 }
@@ -177,7 +181,7 @@ func TestBytesAccounting(t *testing.T) {
 	e := New(hb.New(), ins, p)
 	before := e.Bytes()
 	e.OnSpinRead(&event.Event{Kind: event.KindSpinRead, Tid: 2, Addr: 0, SpinLoop: 0})
-	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: "FLAG"})
+	e.OnWrite(&event.Event{Kind: event.KindWrite, Tid: 1, Addr: 0, Sym: p.Interning().SymOf("FLAG")})
 	if e.Bytes() <= before {
 		t.Error("Bytes must grow with tracked state")
 	}

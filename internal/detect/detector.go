@@ -167,7 +167,7 @@ type shadowWord struct {
 	wTid    event.Tid
 	wTick   uint64
 	wEvent  int64
-	wLoc    ir.Loc
+	wLoc    ir.LocID
 	wSeen   bool
 	wAtomic bool
 
@@ -242,7 +242,7 @@ type Detector struct {
 
 type siteKey struct {
 	addr int64
-	loc  ir.Loc
+	loc  ir.LocID
 }
 
 // New builds a single-threaded detector for one run. The instrumentation

@@ -1,0 +1,73 @@
+package detect
+
+// Trace record/replay: run a workload once and capture its event stream
+// as a binary trace (event.TraceWriter), then drive detectors from the
+// recording with no vm in the loop. Replay is how the scaling harness
+// measures pure detection throughput — the same recorded stream pushed
+// through 1/2/4/8 shard workers — and how `racedetect -record/-replay`
+// turn a run into a portable artifact.
+//
+// The byte-identity contract: a replayed report equals the live run's
+// report byte for byte (harness.ReportFingerprint), because the recorded
+// stream is exactly what the live detector consumed and interning ids are
+// deterministic for a given program build. The round-trip tests assert
+// this across the accuracy suite, presets, and shard counts.
+
+import (
+	"io"
+
+	"adhocrace/internal/event"
+	"adhocrace/internal/ir"
+	"adhocrace/internal/vm"
+)
+
+// RecordTrace executes the workload under cfg's instrumentation and
+// interception with no detector attached, streaming every event into a
+// binary trace on w. meta is recorded verbatim in the header (callers
+// supply the registry workload name and short tool name so a replayer can
+// rebuild both sides). Returns the vm result and events recorded.
+func RecordTrace(w io.Writer, p *ir.Program, cfg Config, seed int64, meta event.TraceMeta) (vm.Result, int64, error) {
+	ins := cfg.Instrument(p)
+	tw := event.NewTraceWriter(w, meta, p.Interning())
+	res, err := vm.Run(p, vm.Options{
+		Seed:      seed,
+		KnownLibs: cfg.KnownLibs,
+		Instr:     ins,
+		Sink:      tw,
+	})
+	if err != nil {
+		tw.Close()
+		return res, tw.Count(), err
+	}
+	return res, tw.Count(), tw.Close()
+}
+
+// ReplayTrace feeds a recorded trace through a fresh detector built for
+// cfg and the requested pipeline shape (shards and shadow-GC apply; the
+// vm-side knobs — overlap, interrupt, deadline — have no vm to act on).
+// The program must be the same build that was recorded: its interning
+// table is checked against the trace header before any event is decoded.
+// Returns the report and the events replayed.
+func ReplayTrace(tr *event.TraceReader, p *ir.Program, cfg Config, opts RunOpts) (*Report, int64, error) {
+	if err := tr.CheckTable(p.Interning()); err != nil {
+		return nil, 0, err
+	}
+	ins := cfg.Instrument(p)
+	d := NewSharded(cfg, ins, p, opts.Shards)
+	defer d.Close()
+	if opts.GCShadow {
+		d.EnableShadowGC(opts.GCEvents)
+	}
+	d.setObs(opts.Obs)
+	d.setFault(opts.Fault)
+	d.setWarningObserver(opts.OnWarning)
+	var sink event.Sink = d
+	if opts.Tap != nil {
+		sink = event.Multi(opts.Tap, d)
+	}
+	n, err := tr.Replay(sink)
+	if err != nil {
+		return nil, n, err
+	}
+	return d.Report(), n, nil
+}

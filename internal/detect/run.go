@@ -76,6 +76,10 @@ type RunOpts struct {
 	// Nil (the default) makes every probe a nil-check; reports are
 	// byte-identical either way.
 	Obs *obs.Pipeline
+	// Reference runs the vm's legacy switch interpreter instead of the
+	// pre-decoded dispatch (vm.Options.Reference) — the equivalence suite's
+	// oracle. Reports are byte-identical either way; only speed differs.
+	Reference bool
 }
 
 // Overlapped returns o with the segment overlap enabled at the default
@@ -99,11 +103,16 @@ type Prepared struct {
 
 	mu  sync.Mutex
 	ins map[int]*spin.Instrumentation
+	dec map[int]*vm.Decoded
 }
 
 // Prepare wraps an already-built program for shared runs.
 func Prepare(p *ir.Program) *Prepared {
-	return &Prepared{Prog: p, ins: make(map[int]*spin.Instrumentation)}
+	return &Prepared{
+		Prog: p,
+		ins:  make(map[int]*spin.Instrumentation),
+		dec:  make(map[int]*vm.Decoded),
+	}
 }
 
 // PrepareBuild builds and wraps a workload.
@@ -126,17 +135,37 @@ func (pr *Prepared) Instrument(cfg Config) *spin.Instrumentation {
 	return ins
 }
 
+// Decoded returns the program's pre-decoded executable form under cfg's
+// instrumentation (vm.Decode), memoized per spin window like Instrument.
+// Safe for concurrent use; the decoded form is immutable.
+func (pr *Prepared) Decoded(cfg Config) *vm.Decoded {
+	ins := pr.Instrument(cfg)
+	window := cfg.SpinWindow
+	if ins == nil {
+		// Every spin-off configuration shares the uninstrumented decode.
+		window = 0
+	}
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	d, ok := pr.dec[window]
+	if !ok {
+		d = vm.Decode(pr.Prog, ins)
+		pr.dec[window] = d
+	}
+	return d
+}
+
 // Run executes the prepared workload under one tool configuration, seed,
 // and pipeline shape, feeding the event stream through a fresh detector.
 func (pr *Prepared) Run(cfg Config, seed int64, opts RunOpts) (*Report, vm.Result, error) {
-	return runInstrumented(pr.Prog, pr.Instrument(cfg), cfg, seed, opts, nil)
+	return runPrepared(pr.Prog, pr.Instrument(cfg), pr.Decoded(cfg), cfg, seed, opts, nil)
 }
 
 // RunWithCounter is Run with an event counter tapping the stream ahead of
 // the detector.
 func (pr *Prepared) RunWithCounter(cfg Config, seed int64, opts RunOpts) (*Report, *event.Counter, vm.Result, error) {
 	ctr := &event.Counter{}
-	rep, res, err := runInstrumented(pr.Prog, pr.Instrument(cfg), cfg, seed, opts, ctr)
+	rep, res, err := runPrepared(pr.Prog, pr.Instrument(cfg), pr.Decoded(cfg), cfg, seed, opts, ctr)
 	return rep, ctr, res, err
 }
 
@@ -182,8 +211,16 @@ func RunWithCounterOpt(p *ir.Program, cfg Config, seed int64, opts RunOpts) (*Re
 
 // runInstrumented is the shared run body: build the detector for the
 // requested pipeline shape, execute, report. ctr, when non-nil, taps the
-// stream ahead of the detector.
+// stream ahead of the detector. The vm decodes the program itself; use
+// runPrepared to reuse a memoized decode across runs.
 func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed int64,
+	opts RunOpts, ctr *event.Counter) (*Report, vm.Result, error) {
+	return runPrepared(p, ins, nil, cfg, seed, opts, ctr)
+}
+
+// runPrepared is runInstrumented with an optional pre-decoded program
+// (nil means the vm decodes on construction).
+func runPrepared(p *ir.Program, ins *spin.Instrumentation, dec *vm.Decoded, cfg Config, seed int64,
 	opts RunOpts, ctr *event.Counter) (*Report, vm.Result, error) {
 	d := NewSharded(cfg, ins, p, opts.Shards)
 	defer d.Close()
@@ -213,6 +250,8 @@ func runInstrumented(p *ir.Program, ins *spin.Instrumentation, cfg Config, seed 
 		Deadline:         opts.Deadline,
 		Obs:              opts.Obs,
 		Fault:            opts.Fault,
+		Decoded:          dec,
+		Reference:        opts.Reference,
 	})
 	return d.Report(), res, err
 }

@@ -20,7 +20,7 @@ func benchShard(cfg Config) *shardState {
 
 func readEntryFor(tid event.Tid, addr int64, clock *vc.Clock, idx int64) entry {
 	return entry{kind: event.KindRead, tid: tid, addr: addr,
-		loc: ir.Loc{File: "bench.c", Line: int(tid)}, idx: idx, clock: clock.Freeze()}
+		loc: ir.LocID(tid), idx: idx, clock: clock.Freeze()}
 }
 
 func writeEntryFor(tid event.Tid, addr int64, clock *vc.Clock, idx int64) entry {

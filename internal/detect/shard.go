@@ -72,8 +72,8 @@ type entry struct {
 	kind event.Kind
 	tid  event.Tid
 	addr int64
-	sym  string
-	loc  ir.Loc
+	sym  ir.SymID
+	loc  ir.LocID
 	// idx is the event's position in the stream (1-based), the sequential
 	// detector's d.events at processing time.
 	idx int64
@@ -159,8 +159,9 @@ func (s *shardState) access(e *entry) {
 		warn, _ := s.locks.AccessWith(e.tid, e.addr, isWrite, e.held)
 		if warn && !w.reported {
 			w.reported = true
-			s.warn(Warning{Kind: WarnLockset, Loc: e.loc, Addr: e.addr, Sym: e.sym,
-				Tid: e.tid, Write: isWrite, EventIdx: e.idx})
+			tab := s.adhoc.Table()
+			s.warn(Warning{Kind: WarnLockset, Loc: tab.LocAt(e.loc), Addr: e.addr,
+				Sym: tab.SymName(e.sym), Tid: e.tid, Write: isWrite, EventIdx: e.idx})
 		}
 		return
 	}
@@ -265,8 +266,10 @@ func (s *shardState) maybeReport(e *entry, w *shadowWord, isWrite bool, other ev
 		}
 		s.reportedSite[k] = true
 	}
-	s.warn(Warning{Kind: WarnHBRace, Loc: e.loc, Addr: e.addr, Sym: e.sym,
-		Tid: e.tid, Other: other, Write: isWrite, EventIdx: e.idx})
+	// Warnings are rare; only here do the interned ids become strings.
+	tab := s.adhoc.Table()
+	s.warn(Warning{Kind: WarnHBRace, Loc: tab.LocAt(e.loc), Addr: e.addr,
+		Sym: tab.SymName(e.sym), Tid: e.tid, Other: other, Write: isWrite, EventIdx: e.idx})
 }
 
 func (s *shardState) warn(w Warning) {

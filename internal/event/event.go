@@ -85,23 +85,32 @@ func (k Kind) IsAtomic() bool { return k == KindAtomicRead || k == KindAtomicWri
 //   - spawn/join: Child
 //   - spin-read: SpinLoop, Addr, Value, Loc (also emitted as a plain access)
 //   - spin-exit: SpinLoop
+//
+// The struct is deliberately pointer-free: Sym and Loc are interned ids
+// resolved against the program's ir.Interning table (strings are
+// materialized only when a warning is formatted), so segment buffers and
+// shard queues are GC-scan-free slabs and an Event copy is a plain 56-byte
+// move with no write barriers. Field order packs the struct; keep the
+// int64s first when adding fields.
 type Event struct {
-	Kind  Kind
-	Tid   Tid
 	Addr  int64
 	Addr2 int64
 	Value int64
+	Tid   Tid
 	Child Tid
-	Sync  ir.SyncKind
 	// SpinLoop is the instrumentation-assigned loop id, valid for
 	// KindSpinRead/KindSpinExit.
-	SpinLoop int
+	SpinLoop int32
+	// Sym is the interned static symbol of the access (ir.NoSym when the
+	// address is computed); Loc the interned source location.
+	Sym  ir.SymID
+	Loc  ir.LocID
+	Kind Kind
+	Sync ir.SyncKind
 	// RMW marks the write half of a read-modify-write atomic (CAS,
 	// fetch-and-add). RMW writes extend the release history of their
 	// location instead of replacing it (a release sequence).
 	RMW bool
-	Sym string
-	Loc ir.Loc
 }
 
 // Sink consumes the event stream. Implementations must not retain the Event

@@ -18,8 +18,12 @@ import (
 //
 // Two buffers bound the pipeline: rotating blocks until the consumer has
 // finished a previous segment, which is back-pressure, not a correctness
-// condition. Buffers are recycled through the free channel, so a run costs
-// two segment allocations total regardless of stream length.
+// condition. Buffers are recycled through the free channel during a run,
+// and across runs through a process-wide slab pool (slabPool), so a
+// steady stream of runs — a table regeneration, the server's sessions —
+// reuses the same two slabs instead of allocating fresh ones per run.
+// Events are pointer-free, so a pooled slab holds nothing alive for the
+// GC and stale contents are simply overwritten by append.
 
 // DefaultSegmentEvents is the segment size used when a caller enables
 // overlap without choosing one: big enough to amortize the per-segment
@@ -98,12 +102,12 @@ func NewSegmented(down Sink, size int) *Segmented {
 	s := &Segmented{
 		down: down,
 		size: size,
-		cur:  make([]Event, 0, size),
+		cur:  newSlab(size),
 		work: make(chan []Event, 1),
 		free: make(chan []Event, 2),
 		done: make(chan struct{}),
 	}
-	s.free <- make([]Event, 0, size) // the second buffer of the double buffer
+	s.free <- newSlab(size) // the second buffer of the double buffer
 	go s.consume()
 	return s
 }
@@ -186,7 +190,8 @@ func (s *Segmented) rotate() {
 		// throw buffers away), which is what actually releases the resident
 		// memory a stall burst grew.
 		if cap(buf) < s.size || cap(buf) >= 4*s.size {
-			buf = make([]Event, 0, s.size)
+			recycleSlab(buf)
+			buf = newSlab(s.size)
 		}
 	} else if s.obs != nil {
 		// Fixed-size sizing takes no policy decision, but an observed run
@@ -257,9 +262,50 @@ func (s *Segmented) Close() {
 	}()
 	close(s.work)
 	<-s.done
+	// The consumer is gone: both slabs are back under producer ownership
+	// (one in cur, one parked in free). Return them to the pool for the
+	// next run before surfacing any downstream panic.
+	for {
+		select {
+		case buf := <-s.free:
+			recycleSlab(buf)
+			continue
+		default:
+		}
+		break
+	}
+	recycleSlab(s.cur)
+	s.cur = nil
 	if downPanic != nil {
 		panic(downPanic)
 	}
+}
+
+// slabPool recycles segment buffers across Segmented lifecycles. Slabs of
+// any capacity are pooled; newSlab accepts one only when it fits the
+// requested size (within the same 4× hysteresis rotate uses), so a
+// mismatched slab is simply dropped for the GC.
+var slabPool sync.Pool
+
+// newSlab returns an empty segment buffer of at least size capacity,
+// reusing a pooled slab when one fits.
+func newSlab(size int) []Event {
+	if v := slabPool.Get(); v != nil {
+		s := *(v.(*[]Event))
+		if cap(s) >= size && cap(s) < 4*size {
+			return s[:0]
+		}
+	}
+	return make([]Event, 0, size)
+}
+
+// recycleSlab parks a segment buffer in the pool.
+func recycleSlab(s []Event) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	slabPool.Put(&s)
 }
 
 // consume is the consumer goroutine: it drains segments in dispatch order,

@@ -19,6 +19,7 @@ package ir
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Op enumerates the operations of the mini-ISA.
@@ -360,6 +361,12 @@ type Program struct {
 
 	byName map[string]*Func
 	symtab map[int64]string // word address -> symbol for diagnostics
+
+	// interned is the symbol/location table built once by Interning()
+	// (see intern.go); internOnce makes the build safe under the
+	// concurrent runs that share a prepared program.
+	internOnce sync.Once
+	interned   *Interning
 }
 
 // FuncByName returns the function with the given name, or nil.

@@ -75,6 +75,16 @@ type Options struct {
 	// failpoint (handed to event.Segmented; the vm itself carries no
 	// site). Nil keeps it a nil-check.
 	Fault *fault.Registry
+	// Decoded, when non-nil, supplies a pre-decoded form of the program
+	// (vm.Decode) so the run skips the decode pass. It must have been built
+	// from exactly this program and Instr; anything else is re-decoded.
+	// detect.Prepared memoizes one per spin window for shared runs.
+	Decoded *Decoded
+	// Reference forces the legacy switch interpreter instead of the
+	// pre-decoded dispatch. The two produce byte-identical event streams
+	// (asserted by decode_test.go and the detect equivalence suite);
+	// Reference exists as the test oracle and costs per-step re-decoding.
+	Reference bool
 }
 
 const (
@@ -129,8 +139,12 @@ const (
 )
 
 type frame struct {
-	fn    *ir.Func
-	regs  []int64
+	fn   *ir.Func
+	regs []int64
+	// dfn is the decoded form of fn (nil in reference mode); ip then
+	// indexes dfn.code flat instead of the current block's instruction
+	// list, and block is unused.
+	dfn   *dfunc
 	block int
 	ip    int
 	// retDst is the register in the caller frame receiving the return
@@ -142,7 +156,7 @@ type frame struct {
 	syncKind    ir.SyncKind
 	syncAddr    int64
 	syncAddr2   int64
-	callLoc     ir.Loc
+	callLoc     ir.LocID
 }
 
 type thread struct {
@@ -163,6 +177,19 @@ type VM struct {
 	prog *ir.Program
 	opts Options
 	mem  []int64
+	// tab is the program's symbol/location interning table; the reference
+	// interpreter resolves each instruction's Sym/Loc through it per
+	// emission, the decoded form bakes the ids in at decode time.
+	tab *ir.Interning
+	// dec is the pre-decoded program (nil in reference mode).
+	dec *Decoded
+	// interceptedBits/interceptedFn cache, per function index, whether a
+	// call into the function is intercepted under this run's KnownLibs —
+	// one bit test (or slice index, for programs with more than 64
+	// functions) on the call path instead of a map lookup, and no per-run
+	// allocation in the common small-program case.
+	interceptedBits uint64
+	interceptedFn   []bool
 
 	threads  []*thread
 	runnable []event.Tid
@@ -203,8 +230,27 @@ func New(p *ir.Program, opts Options) *VM {
 		prog: p,
 		opts: opts,
 		mem:  make([]int64, words),
+		tab:  p.Interning(),
 		rng:  seed,
 		sink: opts.Sink,
+	}
+	if len(p.Funcs) > 64 {
+		v.interceptedFn = make([]bool, len(p.Funcs))
+	}
+	for i, fn := range p.Funcs {
+		hit := fn.Lib != ir.LibNone && fn.Sync != ir.SyncNone && opts.KnownLibs[fn.Lib]
+		if v.interceptedFn != nil {
+			v.interceptedFn[i] = hit
+		} else if hit {
+			v.interceptedBits |= 1 << uint(i)
+		}
+	}
+	if !opts.Reference {
+		if opts.Decoded.Matches(p, opts.Instr) {
+			v.dec = opts.Decoded
+		} else {
+			v.dec = Decode(p, opts.Instr)
+		}
 	}
 	if opts.SegmentEvents != 0 && opts.Sink != nil {
 		size := opts.SegmentEvents
@@ -343,10 +389,16 @@ func (v *VM) spawnThread(fn *ir.Func, args []int64) event.Tid {
 
 // newFrame takes a frame off the free list (zeroing the recycled register
 // window — callees may read registers they never wrote) or allocates one.
+// In decoded mode the frame carries the callee's decoded code; pc 0 is the
+// entry block's first instruction in both representations.
 func (v *VM) newFrame(fn *ir.Func, retDst int) *frame {
+	var dfn *dfunc
+	if v.dec != nil {
+		dfn = v.dec.funcs[fn.Index]
+	}
 	n := len(v.frameFree)
 	if n == 0 {
-		return &frame{fn: fn, regs: make([]int64, fn.NRegs), retDst: retDst}
+		return &frame{fn: fn, dfn: dfn, regs: make([]int64, fn.NRegs), retDst: retDst}
 	}
 	f := v.frameFree[n-1]
 	v.frameFree = v.frameFree[:n-1]
@@ -359,7 +411,7 @@ func (v *VM) newFrame(fn *ir.Func, retDst int) *frame {
 			regs[i] = 0
 		}
 	}
-	*f = frame{fn: fn, regs: regs, retDst: retDst}
+	*f = frame{fn: fn, dfn: dfn, regs: regs, retDst: retDst}
 	return f
 }
 
@@ -379,7 +431,7 @@ func (v *VM) removeRunnable(tid event.Tid) {
 
 // emit routes an event to the sink, honoring library suppression for
 // memory and spin events.
-func (v *VM) emitAccess(t *thread, kind event.Kind, addr, value int64, sym string, loc ir.Loc) {
+func (v *VM) emitAccess(t *thread, kind event.Kind, addr, value int64, sym ir.SymID, loc ir.LocID) {
 	if v.sink == nil || t.libDepth > 0 {
 		return
 	}
@@ -387,7 +439,7 @@ func (v *VM) emitAccess(t *thread, kind event.Kind, addr, value int64, sym strin
 	v.sink.Handle(&v.ev)
 }
 
-func (v *VM) emitRMWWrite(t *thread, addr, value int64, sym string, loc ir.Loc) {
+func (v *VM) emitRMWWrite(t *thread, addr, value int64, sym ir.SymID, loc ir.LocID) {
 	if v.sink == nil || t.libDepth > 0 {
 		return
 	}
@@ -395,7 +447,7 @@ func (v *VM) emitRMWWrite(t *thread, addr, value int64, sym string, loc ir.Loc) 
 	v.sink.Handle(&v.ev)
 }
 
-func (v *VM) emitSpin(t *thread, kind event.Kind, loopID int, addr, value int64, loc ir.Loc) {
+func (v *VM) emitSpin(t *thread, kind event.Kind, loopID int32, addr, value int64, loc ir.LocID) {
 	if v.sink == nil || t.libDepth > 0 || v.opts.Instr == nil {
 		return
 	}
@@ -403,7 +455,7 @@ func (v *VM) emitSpin(t *thread, kind event.Kind, loopID int, addr, value int64,
 	v.sink.Handle(&v.ev)
 }
 
-func (v *VM) emitSync(t *thread, kind event.Kind, sk ir.SyncKind, addr, addr2 int64, loc ir.Loc) {
+func (v *VM) emitSync(t *thread, kind event.Kind, sk ir.SyncKind, addr, addr2 int64, loc ir.LocID) {
 	if v.sink == nil {
 		return
 	}
@@ -464,6 +516,9 @@ func (v *VM) growMem(w int64) {
 // runThread executes up to quantum instructions of t. It returns early when
 // the thread blocks, yields, or finishes.
 func (v *VM) runThread(t *thread, quantum int) error {
+	if v.dec != nil {
+		return v.runThreadDecoded(t, quantum)
+	}
 	for i := 0; i < quantum; i++ {
 		if t.state != stateRunnable {
 			return nil
@@ -554,11 +609,12 @@ func (v *VM) step(t *thread) (bool, error) {
 		if in.Op == ir.OpAtomicLoad {
 			kind = event.KindAtomicRead
 		}
+		loc := v.tab.LocOf(in.Loc)
 		// The spin-read mark precedes the access event so detectors can
 		// classify the address as a synchronization variable before they
 		// race-check the access itself.
-		v.markSpinRead(t, f, addr, val, in.Loc)
-		v.emitAccess(t, kind, addr, val, in.Sym, in.Loc)
+		v.markSpinRead(t, f, addr, val, loc)
+		v.emitAccess(t, kind, addr, val, v.tab.SymOf(in.Sym), loc)
 
 	case ir.OpStore, ir.OpAtomicStore:
 		addr := f.regs[in.A]
@@ -570,7 +626,7 @@ func (v *VM) step(t *thread) (bool, error) {
 		if in.Op == ir.OpAtomicStore {
 			kind = event.KindAtomicWrite
 		}
-		v.emitAccess(t, kind, addr, val, in.Sym, in.Loc)
+		v.emitAccess(t, kind, addr, val, v.tab.SymOf(in.Sym), v.tab.LocOf(in.Loc))
 
 	case ir.OpAtomicCAS:
 		addr := f.regs[in.A]
@@ -578,13 +634,14 @@ func (v *VM) step(t *thread) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		v.markSpinRead(t, f, addr, old, in.Loc)
-		v.emitAccess(t, event.KindAtomicRead, addr, old, in.Sym, in.Loc)
+		sym, loc := v.tab.SymOf(in.Sym), v.tab.LocOf(in.Loc)
+		v.markSpinRead(t, f, addr, old, loc)
+		v.emitAccess(t, event.KindAtomicRead, addr, old, sym, loc)
 		if old == f.regs[in.B] {
 			if err := v.store(addr, f.regs[in.C]); err != nil {
 				return false, err
 			}
-			v.emitRMWWrite(t, addr, f.regs[in.C], in.Sym, in.Loc)
+			v.emitRMWWrite(t, addr, f.regs[in.C], sym, loc)
 			f.regs[in.Dst] = 1
 		} else {
 			f.regs[in.Dst] = 0
@@ -596,12 +653,13 @@ func (v *VM) step(t *thread) (bool, error) {
 		if err != nil {
 			return false, err
 		}
-		v.markSpinRead(t, f, addr, old, in.Loc)
-		v.emitAccess(t, event.KindAtomicRead, addr, old, in.Sym, in.Loc)
+		sym, loc := v.tab.SymOf(in.Sym), v.tab.LocOf(in.Loc)
+		v.markSpinRead(t, f, addr, old, loc)
+		v.emitAccess(t, event.KindAtomicRead, addr, old, sym, loc)
 		if err := v.store(addr, old+f.regs[in.B]); err != nil {
 			return false, err
 		}
-		v.emitRMWWrite(t, addr, old+f.regs[in.B], in.Sym, in.Loc)
+		v.emitRMWWrite(t, addr, old+f.regs[in.B], sym, loc)
 		f.regs[in.Dst] = old
 
 	case ir.OpJmp:
@@ -647,22 +705,7 @@ func (v *VM) step(t *thread) (bool, error) {
 		}
 		f.ip++ // resume after the call upon return
 		advance = false
-		if v.isIntercepted(callee) && t.libDepth == 0 {
-			nf.intercepted = true
-			nf.syncKind = callee.Sync
-			if callee.NParams > 0 {
-				nf.syncAddr = nf.regs[0]
-			}
-			if callee.NParams > 1 {
-				nf.syncAddr2 = nf.regs[1]
-			}
-			nf.callLoc = in.Loc
-			v.emitSync(t, event.KindSyncPre, nf.syncKind, nf.syncAddr, nf.syncAddr2, in.Loc)
-			t.libDepth++
-		} else if t.libDepth > 0 {
-			t.libDepth++
-		}
-		t.frames = append(t.frames, nf)
+		v.pushCall(t, nf, callee, v.tab.LocOf(in.Loc))
 
 	case ir.OpSpawn:
 		callee := v.prog.Funcs[in.Imm]
@@ -711,11 +754,35 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-func (v *VM) isIntercepted(fn *ir.Func) bool {
-	if fn.Lib == ir.LibNone || fn.Sync == ir.SyncNone {
-		return false
+// intercepted reports whether calls into the function are intercepted
+// under this run's KnownLibs, from the cache VM.New resolved.
+func (v *VM) intercepted(idx int) bool {
+	if v.interceptedFn != nil {
+		return v.interceptedFn[idx]
 	}
-	return v.opts.KnownLibs[fn.Lib]
+	return v.interceptedBits&(1<<uint(idx)) != 0
+}
+
+// pushCall enters a prepared callee frame, firing the interception
+// bookkeeping (sync Pre, library suppression) shared by the reference and
+// decoded call paths.
+func (v *VM) pushCall(t *thread, nf *frame, callee *ir.Func, loc ir.LocID) {
+	if t.libDepth == 0 && v.intercepted(callee.Index) {
+		nf.intercepted = true
+		nf.syncKind = callee.Sync
+		if callee.NParams > 0 {
+			nf.syncAddr = nf.regs[0]
+		}
+		if callee.NParams > 1 {
+			nf.syncAddr2 = nf.regs[1]
+		}
+		nf.callLoc = loc
+		v.emitSync(t, event.KindSyncPre, nf.syncKind, nf.syncAddr, nf.syncAddr2, loc)
+		t.libDepth++
+	} else if t.libDepth > 0 {
+		t.libDepth++
+	}
+	t.frames = append(t.frames, nf)
 }
 
 // returnFrom pops the current frame. When the thread's last frame returns,
@@ -757,7 +824,7 @@ func (v *VM) wakeJoiners(done event.Tid) {
 
 // markSpinRead fires the spin-read mark when the just-executed memory read
 // sits at an instrumented condition-load site.
-func (v *VM) markSpinRead(t *thread, f *frame, addr, val int64, loc ir.Loc) {
+func (v *VM) markSpinRead(t *thread, f *frame, addr, val int64, loc ir.LocID) {
 	if v.opts.Instr == nil {
 		return
 	}
@@ -765,7 +832,7 @@ func (v *VM) markSpinRead(t *thread, f *frame, addr, val int64, loc ir.Loc) {
 	if id < 0 {
 		return
 	}
-	v.emitSpin(t, event.KindSpinRead, id, addr, val, loc)
+	v.emitSpin(t, event.KindSpinRead, int32(id), addr, val, loc)
 }
 
 // markSpinExit fires the spin-exit mark when an instrumented exit branch
@@ -779,7 +846,7 @@ func (v *VM) markSpinExit(t *thread, f *frame, taken int) {
 		return
 	}
 	if !v.opts.Instr.LoopContains(id, taken) {
-		v.emitSpin(t, event.KindSpinExit, id, 0, 0, ir.Loc{})
+		v.emitSpin(t, event.KindSpinExit, int32(id), 0, 0, ir.NoLoc)
 	}
 }
 

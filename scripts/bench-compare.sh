@@ -16,9 +16,16 @@
 # machine-independent signal in these records, so `make bench-compare`
 # can gate a PR even on noisy single-CPU runners. Set ALLOC_GATE_PCT=off
 # to report without gating.
+#
+# The replay benchmarks (BenchmarkReplayEventsPerSec/*) additionally gate
+# on ns/op: they decode a fixed recorded stream with no vm, so their
+# ns/op is ns-per-event up to a constant and is the one wall-clock signal
+# stable enough to gate — REPLAY_NS_GATE_PCT (default 50, generous for
+# shared runners; off to disable) bounds the regression.
 set -eu
 
 ALLOC_GATE_PCT="${ALLOC_GATE_PCT:-10}"
+REPLAY_NS_GATE_PCT="${REPLAY_NS_GATE_PCT:-50}"
 
 if [ $# -ge 2 ]; then
 	old="$1"
@@ -57,7 +64,7 @@ extract "$new" > /tmp/bench-compare-new.$$
 trap 'rm -f /tmp/bench-compare-old.$$ /tmp/bench-compare-new.$$' EXIT
 
 echo "bench-compare: $old -> $new"
-awk -v gate="$ALLOC_GATE_PCT" '
+awk -v gate="$ALLOC_GATE_PCT" -v rgate="$REPLAY_NS_GATE_PCT" '
 function delta(o, n) {
 	if (o == "-" || n == "-" || o + 0 == 0) return "      -"
 	return sprintf("%+6.1f%%", (n - o) * 100.0 / o)
@@ -79,6 +86,14 @@ NR == FNR { ns[$1] = $2; bop[$1] = $3; al[$1] = $4; next }
 				$1, delta(al[$1], $4), gate
 			bad = 1
 		}
+	}
+	# Replay benchmarks decode a fixed stream (ns/op == ns-per-event up to
+	# a constant), so wall clock is gateable there too.
+	if (rgate != "off" && $1 ~ /ReplayEventsPerSec/ && ns[$1] != "-" && $2 != "-" \
+		&& ns[$1] + 0 > 0 && ($2 - ns[$1]) * 100.0 / ns[$1] > rgate + 0) {
+		printf "bench-compare: GATE: %s ns/op regressed %s (> %s%%)\n",
+			$1, delta(ns[$1], $2), rgate
+		bad = 1
 	}
 	seen[$1] = 1
 }

@@ -11,9 +11,12 @@
 #     | sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
 #     | sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)'
 #
-# Usage: [GO=go1.x] bench-save.sh [bench-regexp]  (default BenchmarkTable1)
+# Usage: [GO=go1.x] bench-save.sh [bench-regexp]
+# Default records the accuracy-table smoke AND the replay scaling
+# benchmark in one `go test` run, so every BENCH record carries both the
+# table trajectory and the events/sec curve.
 set -eu
-bench="${1:-BenchmarkTable1}"
+bench="${1:-BenchmarkTable1\$|BenchmarkReplayEventsPerSec}"
 # One record per run: same-day reruns get a letter suffix instead of
 # clobbering the day's earlier record (suffixes sort after the plain name,
 # so `ls | sort` stays chronological for bench-compare.sh).
@@ -34,8 +37,17 @@ done
 # so the trailer is invisible to them.
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 cpus="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
-printf '{"BenchMeta":{"Commit":"%s","GoMaxProcs":%s,"NumCPU":%s}}\n' \
-	"$sha" "${GOMAXPROCS:-$cpus}" "$cpus" >> "$out"
+# EventsPerSec: the shards-1 replay throughput when the record includes
+# the replay benchmark (0 otherwise) — the single-number perf headline a
+# record can be skimmed by.
+evsec="$(grep -o '"Output":"[^"]*"' "$out" \
+	| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
+	| sed 's/\\n/\n/g; s/\\t/\t/g' \
+	| awk '/^BenchmarkReplayEventsPerSec\/shards-1/ {
+		for (i = 2; i <= NF; i++) if ($i == "events/sec") { print $(i-1); exit }
+	}')"
+printf '{"BenchMeta":{"Commit":"%s","GoMaxProcs":%s,"NumCPU":%s,"EventsPerSec":%s}}\n' \
+	"$sha" "${GOMAXPROCS:-$cpus}" "$cpus" "${evsec:-0}" >> "$out"
 grep -o '"Output":"[^"]*"' "$out" \
 	| sed 's/^"Output":"//; s/"$//' | tr -d '\n' \
 	| sed 's/\\n/\n/g; s/\\t/\t/g' | grep -E '^(Benchmark|goos|goarch|pkg|cpu)' || true

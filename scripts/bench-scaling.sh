@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench-scaling.sh — the events/sec scaling harness.
+#
+# Records one workload's event stream as a binary trace, replays it
+# through detectors at shards 1/2/4/8 with no vm in the loop (tables
+# -replay prints the wall-clock/events-per-second curve and asserts every
+# report byte-identical to shards-1), then records the go-test replay
+# scaling benchmark (BenchmarkReplayEventsPerSec/shards-*) as a
+# BENCH_*.json record via bench-save.sh so the curve is tracked commit
+# over commit alongside the accuracy-table trajectory.
+#
+# Usage: [GO=go1.x] [WORKLOAD=x264] [TOOL=spin] bench-scaling.sh
+set -eu
+GO="${GO:-go}"
+workload="${WORKLOAD:-x264}"
+tool="${TOOL:-spin}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$GO" run ./cmd/racedetect -w "$workload" -tool "$tool" -record "$tmp/$workload.trace"
+"$GO" run ./cmd/tables -replay "$tmp/$workload.trace"
+GO="$GO" sh scripts/bench-save.sh 'BenchmarkReplayEventsPerSec'

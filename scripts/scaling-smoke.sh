@@ -1,0 +1,31 @@
+#!/bin/sh
+# scaling-smoke.sh — CI gate for the record/replay path.
+#
+# Records a tiny trace, replays it at shards 1 and 2, and asserts the two
+# replayed reports are byte-identical (fingerprint equality) — the replay
+# engine's determinism bar, cheap enough for every CI run. The full
+# scaling curve lives in scripts/bench-scaling.sh.
+set -eu
+GO="${GO:-go}"
+workload="${WORKLOAD:-adhoc_spin11_b7_atomic_long}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+"$GO" run ./cmd/racedetect -w "$workload" -tool spin -seed 1 -record "$tmp/t.trace" >/dev/null
+
+fp() {
+	"$GO" run ./cmd/racedetect -replay "$tmp/t.trace" -shards "$1" -fingerprint \
+		| sed -n 's/^fingerprint=//p'
+}
+
+f1="$(fp 1)"
+f2="$(fp 2)"
+if [ -z "$f1" ]; then
+	echo "scaling-smoke: no fingerprint from shards-1 replay" >&2
+	exit 1
+fi
+if [ "$f1" != "$f2" ]; then
+	echo "scaling-smoke: FAIL: shards-1 and shards-2 replays differ ($f1 vs $f2)" >&2
+	exit 1
+fi
+echo "scaling-smoke: ok — $workload replay byte-identical at shards 1 and 2 (fingerprint $f1)"
